@@ -1,0 +1,47 @@
+// Reproduces Figure 4: the λ trade-off between the graph attack and the
+// GNNExplainer attack on CORA — ASR-T, F1@15, NDCG@15 as λ sweeps from
+// "pure graph attack" to "pure explainer attack".
+//
+// λ grid note (DESIGN.md §4): gradient magnitudes scale inversely with
+// graph size, so this reproduction's λ axis is shifted relative to the
+// paper's {0.001 … 1000}; the *shape* — flat ASR-T until a knee, then a
+// collapse, with detection decreasing in λ — is the reproduced result.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace geattack;
+  using namespace geattack::bench;
+  BenchKnobs knobs = BenchKnobs::FromEnv();
+  // Figures default to a single seed (tables carry the ±std columns).
+  knobs.seeds = EnvInt("GEATTACK_BENCH_SEEDS", 1);
+  knobs.Describe(std::cout, "Figure 4 — effect of lambda on CORA");
+
+  const std::vector<double> lambdas = {0.001, 0.01, 0.1, 0.5, 1.0,
+                                       2.0,   5.0,  10.0, 20.0, 50.0};
+  std::vector<MetricColumns> columns(lambdas.size());
+  for (uint64_t seed = 0; seed < static_cast<uint64_t>(knobs.seeds); ++seed) {
+    auto world =
+        MakeWorld(DatasetId::kCora, knobs.scale, seed, knobs.targets);
+    GnnExplainer inspector(world->model.get(), &world->data.features,
+                           InspectorConfig(seed));
+    for (size_t i = 0; i < lambdas.size(); ++i) {
+      GeAttackConfig cfg;
+      cfg.lambda = lambdas[i];
+      GeAttack attack(cfg);
+      Rng rng(seed * 11 + 1);
+      columns[i].Add(EvaluateAttack(world->ctx, attack, world->targets,
+                                    inspector, EvalConfig{}, &rng));
+    }
+  }
+
+  TablePrinter table({"lambda", "ASR-T", "F1@15", "NDCG@15"});
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    table.AddRow({FormatDouble(lambdas[i], 3), columns[i].asr_t.Cell(),
+                  columns[i].f1.Cell(), columns[i].ndcg.Cell()});
+  }
+  table.Print(std::cout);
+  return 0;
+}

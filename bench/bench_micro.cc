@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) of the kernels the attacks stress:
+// dense matmul, GCN forward, adjacency-gradient backward, explainer inner
+// step, and the full GEAttack hypergradient.  Not a paper table — these
+// quantify the substrate so performance regressions are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "src/attack/attack.h"
+#include "src/core/geattack.h"
+#include "src/explain/gnn_explainer.h"
+#include "src/graph/generators.h"
+#include "src/nn/trainer.h"
+
+namespace geattack {
+namespace {
+
+GraphData& BenchData() {
+  static GraphData data = [] {
+    Rng rng(5);
+    CitationGraphConfig cfg;
+    cfg.num_nodes = 300;
+    cfg.num_edges = 700;
+    cfg.num_classes = 4;
+    cfg.feature_dim = 256;
+    return KeepLargestConnectedComponent(GenerateCitationGraph(cfg, &rng));
+  }();
+  return data;
+}
+
+Gcn& BenchModel() {
+  static Gcn model = [] {
+    Rng rng(6);
+    GraphData& data = BenchData();
+    Split split = MakeSplit(data, 0.1, 0.1, &rng);
+    TrainConfig cfg;
+    cfg.epochs = 60;
+    return TrainNewGcn(data, split, cfg, &rng);
+  }();
+  return model;
+}
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(n, n, 0, 1);
+  Tensor b = rng.NormalTensor(n, n, 0, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(a.MatMul(b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_NormalizeAdjacency(benchmark::State& state) {
+  Tensor adj = BenchData().graph.DenseAdjacency();
+  for (auto _ : state) benchmark::DoNotOptimize(NormalizeAdjacency(adj));
+}
+BENCHMARK(BM_NormalizeAdjacency);
+
+void BM_GcnForward(benchmark::State& state) {
+  GraphData& data = BenchData();
+  Gcn& model = BenchModel();
+  Tensor norm = NormalizeAdjacency(data.graph.DenseAdjacency());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.Logits(norm, data.features));
+}
+BENCHMARK(BM_GcnForward);
+
+void BM_AdjacencyGradient(benchmark::State& state) {
+  GraphData& data = BenchData();
+  Gcn& model = BenchModel();
+  const GcnForwardContext ctx = MakeForwardContext(model, data.features);
+  Tensor adj = data.graph.DenseAdjacency();
+  for (auto _ : state) {
+    Var a = Var::Leaf(adj, true);
+    Var loss = TargetedAttackLoss(ctx, a, 0, 1);
+    benchmark::DoNotOptimize(GradOne(loss, a).value());
+  }
+}
+BENCHMARK(BM_AdjacencyGradient);
+
+void BM_ExplainerInnerStep(benchmark::State& state) {
+  GraphData& data = BenchData();
+  Gcn& model = BenchModel();
+  const GcnForwardContext ctx = MakeForwardContext(model, data.features);
+  Rng rng(2);
+  Tensor adj = data.graph.DenseAdjacency();
+  Tensor mask0 = rng.NormalTensor(adj.rows(), adj.cols(), 0, 0.1);
+  for (auto _ : state) {
+    Var a = Constant(adj);
+    Var m = Var::Leaf(mask0, true);
+    Var loss = GnnExplainer::ExplainerLoss(ctx, a, m, 0, 1);
+    benchmark::DoNotOptimize(GradOne(loss, m).value());
+  }
+}
+BENCHMARK(BM_ExplainerInnerStep);
+
+void BM_GeAttackHypergradient(benchmark::State& state) {
+  // One full outer iteration's gradient: T differentiable inner steps plus
+  // the backward through them.
+  GraphData& data = BenchData();
+  Gcn& model = BenchModel();
+  const GcnForwardContext ctx = MakeForwardContext(model, data.features);
+  Rng rng(3);
+  Tensor adj = data.graph.DenseAdjacency();
+  Tensor mask0 = rng.NormalTensor(adj.rows(), adj.cols(), 0, 0.1);
+  const int64_t T = state.range(0);
+  for (auto _ : state) {
+    Var a = Var::Leaf(adj, true);
+    Var m = Var::Leaf(mask0, true);
+    for (int64_t t = 0; t < T; ++t) {
+      Var loss = GnnExplainer::ExplainerLoss(ctx, a, m, 0, 1);
+      Var p = GradOne(loss, m, {.create_graph = true});
+      m = Sub(m, MulScalar(p, 0.3));
+    }
+    Var total = Add(TargetedAttackLoss(ctx, a, 0, 1),
+                    MulScalar(Sum(SelectRow(m, 0)), 2.0));
+    benchmark::DoNotOptimize(GradOne(total, a).value());
+  }
+}
+BENCHMARK(BM_GeAttackHypergradient)->Arg(1)->Arg(3)->Arg(5);
+
+}  // namespace
+}  // namespace geattack
+
+BENCHMARK_MAIN();

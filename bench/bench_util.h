@@ -1,0 +1,151 @@
+// Shared setup for the experiment-reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper on the
+// synthetic dataset stand-ins (DESIGN.md §2/§3).  Scale knobs are read from
+// the environment so the same binaries can run a quick smoke pass or a
+// full-size reproduction:
+//   GEATTACK_BENCH_SCALE    dataset size fraction of Table 3 (default 0.12)
+//   GEATTACK_BENCH_SEEDS    number of repeated runs (default 2)
+//   GEATTACK_BENCH_TARGETS  victim nodes per run (default 8)
+
+#ifndef GEATTACK_BENCH_BENCH_UTIL_H_
+#define GEATTACK_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attack/fga.h"
+#include "src/attack/fga_te.h"
+#include "src/attack/ig_attack.h"
+#include "src/attack/nettack.h"
+#include "src/attack/rna.h"
+#include "src/core/geattack.h"
+#include "src/core/geattack_pg.h"
+#include "src/eval/pipeline.h"
+#include "src/eval/report.h"
+#include "src/explain/gnn_explainer.h"
+#include "src/explain/pg_explainer.h"
+#include "src/graph/datasets.h"
+#include "src/nn/trainer.h"
+
+namespace geattack {
+namespace bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int64_t parsed = std::atoll(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+struct BenchKnobs {
+  double scale = 0.12;
+  int64_t seeds = 2;
+  int64_t targets = 8;
+
+  static BenchKnobs FromEnv() {
+    BenchKnobs k;
+    k.scale = BenchScaleFromEnv(k.scale);
+    k.seeds = EnvInt("GEATTACK_BENCH_SEEDS", k.seeds);
+    k.targets = EnvInt("GEATTACK_BENCH_TARGETS", k.targets);
+    return k;
+  }
+
+  void Describe(std::ostream& os, const std::string& what) const {
+    os << "# " << what << "\n"
+       << "# synthetic stand-ins at scale=" << scale << ", seeds=" << seeds
+       << ", targets/run=" << targets
+       << " (override via GEATTACK_BENCH_{SCALE,SEEDS,TARGETS})\n";
+  }
+};
+
+/// One fully prepared experiment world: data, trained model, targets.
+struct World {
+  GraphData data;
+  Split split;
+  std::unique_ptr<Gcn> model;
+  AttackContext ctx;
+  Tensor clean_logits;
+  std::vector<PreparedTarget> targets;
+  TrainResult train_result;
+};
+
+inline std::unique_ptr<World> MakeWorld(DatasetId id, double scale,
+                                        uint64_t seed, int64_t num_targets) {
+  auto w = std::make_unique<World>();
+  Rng rng(seed * 9176423ull + 17ull);
+  w->data = MakeDataset(id, scale, &rng);
+  w->split = MakeSplit(w->data, 0.1, 0.1, &rng);
+  w->model = std::make_unique<Gcn>(
+      TrainNewGcn(w->data, w->split, TrainConfig{}, &rng, &w->train_result));
+  w->ctx = MakeAttackContext(w->data, *w->model);
+  w->clean_logits =
+      w->model->LogitsFromRaw(w->ctx.clean_adjacency, w->data.features);
+  TargetSelectionConfig sel;
+  sel.top_margin = num_targets / 4;
+  sel.bottom_margin = num_targets / 4;
+  sel.random = num_targets - 2 * (num_targets / 4);
+  auto nodes = SelectTargetNodes(w->data, w->clean_logits, w->split.test, sel,
+                                 &rng);
+  w->targets = PrepareTargets(w->ctx, nodes, &rng);
+  return w;
+}
+
+/// GNNExplainer inspector with the evaluation defaults (§A.2).
+inline GnnExplainerConfig InspectorConfig(uint64_t seed = 0) {
+  GnnExplainerConfig cfg;
+  cfg.epochs = 50;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The attacker line-up of Table 1/2, in paper column order.
+inline std::vector<std::string> AttackerNames() {
+  return {"FGA", "RNA", "FGA-T", "Nettack", "IG-Attack", "FGA-T&E",
+          "GEAttack"};
+}
+
+/// Instantiates an attacker by its table name (GNNExplainer-targeting
+/// GEAttack; use MakePgAttacker for the Table 2 variant).
+inline std::unique_ptr<TargetedAttack> MakeAttacker(const std::string& name) {
+  if (name == "RNA") return std::make_unique<RandomAttack>();
+  if (name == "FGA") return std::make_unique<FgaAttack>(false);
+  if (name == "FGA-T") return std::make_unique<FgaAttack>(true);
+  if (name == "FGA-T&E") {
+    GnnExplainerConfig cfg;
+    cfg.epochs = 30;
+    return std::make_unique<FgaTeAttack>(cfg);
+  }
+  if (name == "Nettack") return std::make_unique<Nettack>();
+  if (name == "IG-Attack") {
+    IgAttackConfig cfg;
+    cfg.steps = 5;
+    cfg.shortlist = 24;
+    return std::make_unique<IgAttack>(cfg);
+  }
+  if (name == "GEAttack") return std::make_unique<GeAttack>();
+  std::cerr << "unknown attacker " << name << "\n";
+  std::abort();
+}
+
+/// Per-attacker aggregate of the six table metrics across seeds.
+struct MetricColumns {
+  SeedAggregate asr, asr_t, precision, recall, f1, ndcg;
+
+  void Add(const JointAttackOutcome& o) {
+    asr.Add(o.asr);
+    asr_t.Add(o.asr_t);
+    precision.Add(o.detection.precision);
+    recall.Add(o.detection.recall);
+    f1.Add(o.detection.f1);
+    ndcg.Add(o.detection.ndcg);
+  }
+};
+
+}  // namespace bench
+}  // namespace geattack
+
+#endif  // GEATTACK_BENCH_BENCH_UTIL_H_

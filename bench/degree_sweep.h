@@ -1,0 +1,36 @@
+// Shared per-degree evaluation used by Figs. 2, 3 and 7: attack nodes of a
+// given clean degree with Nettack and measure attack success plus how well
+// an inspector (GNNExplainer or PGExplainer) surfaces the planted edges.
+
+#ifndef GEATTACK_BENCH_DEGREE_SWEEP_H_
+#define GEATTACK_BENCH_DEGREE_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace geattack {
+namespace bench {
+
+struct DegreeCell {
+  int64_t degree = 0;
+  int64_t num_targets = 0;
+  double asr = 0.0;
+  DetectionMetrics detection;
+};
+
+/// Runs Nettack against up to `per_degree` correctly-classified test nodes
+/// of each clean degree in [1, max_degree], inspecting each perturbed graph
+/// with `make_inspector(world)`'s explainer.  Mirrors the preliminary-study
+/// protocol of §3 (40 nodes per degree in the paper; scaled here).
+std::vector<DegreeCell> NettackDegreeSweep(
+    DatasetId id, const BenchKnobs& knobs, int64_t max_degree,
+    int64_t per_degree,
+    const std::function<std::unique_ptr<Explainer>(const World&)>&
+        make_inspector);
+
+}  // namespace bench
+}  // namespace geattack
+
+#endif  // GEATTACK_BENCH_DEGREE_SWEEP_H_

@@ -1,0 +1,39 @@
+#include "src/attack/attack.h"
+
+namespace geattack {
+
+std::vector<int64_t> DirectAddCandidates(const Tensor& adjacency,
+                                         int64_t target,
+                                         const std::vector<int64_t>& labels,
+                                         int64_t required_label) {
+  const int64_t n = adjacency.rows();
+  GEA_CHECK(target >= 0 && target < n);
+  std::vector<int64_t> candidates;
+  for (int64_t j = 0; j < n; ++j) {
+    if (j == target) continue;
+    if (adjacency.at(target, j) > 0.5) continue;
+    if (required_label >= 0 && labels[j] != required_label) continue;
+    candidates.push_back(j);
+  }
+  return candidates;
+}
+
+Var TargetedAttackLoss(const GcnForwardContext& ctx, const Var& adjacency,
+                       int64_t node, int64_t label) {
+  return NllRow(GcnLogitsVar(ctx, adjacency), node, label);
+}
+
+void AddEdgeDense(Tensor* adjacency, int64_t u, int64_t v) {
+  GEA_CHECK(adjacency != nullptr);
+  GEA_CHECK(u != v);
+  adjacency->at(u, v) = 1.0;
+  adjacency->at(v, u) = 1.0;
+}
+
+bool PredictsLabel(const Gcn& model, const Tensor& adjacency,
+                   const Tensor& features, int64_t node, int64_t label) {
+  const Tensor logits = model.LogitsFromRaw(adjacency, features);
+  return logits.ArgMaxRow(node) == label;
+}
+
+}  // namespace geattack

@@ -1,0 +1,83 @@
+// Common interface and utilities for targeted structure attacks.
+//
+// Setting (paper §3 "Problem Statement" and §5.1):
+//   * evasion attacks on a fixed trained GCN (white box);
+//   * direct attacks: every adversarial edge is incident to the target node;
+//   * add-edge only (footnote 1: adding fake connections is the cheap,
+//     realistic perturbation in social/citation graphs);
+//   * budget Δ edges per target (set to the target's degree in the paper).
+
+#ifndef GEATTACK_SRC_ATTACK_ATTACK_H_
+#define GEATTACK_SRC_ATTACK_ATTACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/nn/gcn.h"
+#include "src/tensor/random.h"
+#include "src/tensor/tensor.h"
+
+namespace geattack {
+
+/// Immutable attack-time context shared across targets.
+struct AttackContext {
+  const GraphData* data = nullptr;  ///< Clean attributed graph.
+  const Gcn* model = nullptr;       ///< Trained victim (fixed, evasion).
+  Tensor clean_adjacency;           ///< Dense adjacency of the clean graph.
+};
+
+/// One attack query.
+struct AttackRequest {
+  int64_t target_node = -1;
+  /// The specific incorrect label ŷ the attacker wants predicted.  -1 means
+  /// untargeted (any wrong label) — only plain FGA uses that mode.
+  int64_t target_label = -1;
+  int64_t budget = 1;  ///< Δ: maximum number of added edges.
+};
+
+/// Attack outcome.
+struct AttackResult {
+  Tensor adjacency;               ///< Perturbed dense adjacency Â.
+  std::vector<Edge> added_edges;  ///< The adversarial edges E'.
+};
+
+/// Interface implemented by every attacker (baselines and GEAttack).
+class TargetedAttack {
+ public:
+  virtual ~TargetedAttack() = default;
+
+  /// Display name used in result tables, e.g. "Nettack".
+  virtual std::string name() const = 0;
+
+  /// Perturbs the graph for one request.  `rng` supplies any stochasticity
+  /// (random baseline, mask init); deterministic given its state.
+  virtual AttackResult Attack(const AttackContext& ctx,
+                              const AttackRequest& request, Rng* rng) const = 0;
+};
+
+/// Candidate endpoints for a direct add-edge attack on `target`: nodes j
+/// with A[target, j] = 0 and j != target.  When `required_label` >= 0, only
+/// nodes carrying that label are returned (the paper's per-baseline
+/// targeted-label constraint).
+std::vector<int64_t> DirectAddCandidates(const Tensor& adjacency,
+                                         int64_t target,
+                                         const std::vector<int64_t>& labels,
+                                         int64_t required_label);
+
+/// The targeted attack loss of Eq. (4): -log f(Â, X)[v, ŷ], differentiable
+/// in the adjacency.
+Var TargetedAttackLoss(const GcnForwardContext& ctx, const Var& adjacency,
+                       int64_t node, int64_t label);
+
+/// Adds edge (u,v) symmetrically to a dense adjacency.
+void AddEdgeDense(Tensor* adjacency, int64_t u, int64_t v);
+
+/// True if the attacked model now predicts `label` for `node`.
+bool PredictsLabel(const Gcn& model, const Tensor& adjacency,
+                   const Tensor& features, int64_t node, int64_t label);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_ATTACK_ATTACK_H_

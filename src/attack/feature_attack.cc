@@ -1,0 +1,54 @@
+#include "src/attack/feature_attack.h"
+
+#include <limits>
+
+namespace geattack {
+
+FeatureAttackResult FeatureAttack::Attack(const AttackContext& ctx,
+                                          const AttackRequest& request) const {
+  GEA_CHECK(request.target_label >= 0);
+  FeatureAttackResult result;
+  result.features = ctx.data->features;
+  const int64_t v = request.target_node;
+  const int64_t d = result.features.cols();
+  const Tensor norm = NormalizeAdjacency(ctx.clean_adjacency);
+  const Var norm_v = Constant(norm, "norm_adj");
+  const Var w1 = Constant(ctx.model->w1(), "w1");
+  const Var w2 = Constant(ctx.model->w2(), "w2");
+
+  for (int64_t step = 0; step < request.budget; ++step) {
+    Var x = Var::Leaf(result.features, /*requires_grad=*/true, "X_hat");
+    Var h = Relu(MatMul(norm_v, MatMul(x, w1)));
+    Var logits = MatMul(norm_v, MatMul(h, w2));
+    Var loss = NllRow(logits, v, request.target_label);
+    const Tensor g = GradOne(loss, x).value();
+
+    // A 0->1 flip changes the loss by ~ +g, a 1->0 flip by ~ -g: score each
+    // bit by the signed change its flip induces; pick the most negative.
+    int64_t best = -1;
+    double best_delta = 0.0;  // Only flip if the loss is predicted to drop.
+    for (int64_t j = 0; j < d; ++j) {
+      bool already = false;
+      for (int64_t f : result.flipped) {
+        if (f == j) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      const double bit = result.features.at(v, j);
+      const double delta = bit > 0.5 ? -g.at(v, j) : g.at(v, j);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = j;
+      }
+    }
+    if (best < 0) break;
+    result.features.at(v, best) =
+        result.features.at(v, best) > 0.5 ? 0.0 : 1.0;
+    result.flipped.push_back(best);
+  }
+  return result;
+}
+
+}  // namespace geattack

@@ -1,0 +1,39 @@
+// Feature-perturbation attack (extension).
+//
+// The paper restricts its study to structure attacks and explicitly leaves
+// feature perturbations as future work (§6).  This module implements the
+// natural gradient-based variant for binary bag-of-words features: greedily
+// flip the target node's feature bits whose attack-loss gradient promises
+// the largest loss decrease — the feature-space analogue of FGA-T.  It
+// shares the AttackContext/AttackRequest interface so the evaluation
+// pipeline can score it, and exists to exercise the paper's "other types of
+// adversarial perturbations" direction.
+
+#ifndef GEATTACK_SRC_ATTACK_FEATURE_ATTACK_H_
+#define GEATTACK_SRC_ATTACK_FEATURE_ATTACK_H_
+
+#include "src/attack/attack.h"
+
+namespace geattack {
+
+/// Result of a feature attack: the perturbed feature matrix.
+struct FeatureAttackResult {
+  Tensor features;                 ///< Perturbed node features X̂.
+  std::vector<int64_t> flipped;    ///< Flipped feature indices of the target.
+};
+
+/// Targeted greedy bit-flip attack on the target node's features.
+class FeatureAttack {
+ public:
+  std::string name() const { return "FeatureFGA-T"; }
+
+  /// Flips up to `request.budget` bits of the target's feature row so the
+  /// model predicts `request.target_label`.  Only the target's own row is
+  /// touched (direct attack); bits may flip 0→1 or 1→0.
+  FeatureAttackResult Attack(const AttackContext& ctx,
+                             const AttackRequest& request) const;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_ATTACK_FEATURE_ATTACK_H_

@@ -1,0 +1,71 @@
+#include "src/attack/fga.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace geattack {
+
+int64_t BestCandidateByGradient(const Tensor& gradient, int64_t target,
+                                const std::vector<int64_t>& candidates) {
+  int64_t best = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int64_t j : candidates) {
+    const double score = gradient.at(target, j) + gradient.at(j, target);
+    if (score < best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  // Only add an edge whose relaxed-gradient direction actually decreases
+  // the loss.
+  return best_score < 0.0 ? best : best;
+}
+
+std::vector<int64_t> FgaAttack::ExcludedNodes(const AttackContext&,
+                                              const Tensor&,
+                                              const AttackRequest&) const {
+  return {};
+}
+
+AttackResult FgaAttack::Attack(const AttackContext& ctx,
+                               const AttackRequest& request, Rng*) const {
+  AttackResult result;
+  result.adjacency = ctx.clean_adjacency;
+  const GcnForwardContext fwd = MakeForwardContext(*ctx.model,
+                                                   ctx.data->features);
+  const int64_t v = request.target_node;
+
+  for (int64_t step = 0; step < request.budget; ++step) {
+    Var adj = Var::Leaf(result.adjacency, /*requires_grad=*/true, "A_hat");
+    Var loss;
+    if (targeted_) {
+      GEA_CHECK(request.target_label >= 0);
+      loss = TargetedAttackLoss(fwd, adj, v, request.target_label);
+    } else {
+      // Untargeted: maximize the loss of the current prediction, i.e.
+      // minimize its negation.
+      const Tensor logits =
+          ctx.model->LogitsFromRaw(result.adjacency, ctx.data->features);
+      loss = Neg(TargetedAttackLoss(fwd, adj, v, logits.ArgMaxRow(v)));
+    }
+    const Tensor gradient = GradOne(loss, adj).value();
+
+    auto candidates = DirectAddCandidates(result.adjacency, v,
+                                          ctx.data->labels, /*label*/ -1);
+    const auto excluded = ExcludedNodes(ctx, result.adjacency, request);
+    if (!excluded.empty()) {
+      const std::unordered_set<int64_t> ex(excluded.begin(), excluded.end());
+      candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                      [&ex](int64_t j) { return ex.count(j); }),
+                       candidates.end());
+    }
+    const int64_t pick = BestCandidateByGradient(gradient, v, candidates);
+    if (pick < 0) break;
+    AddEdgeDense(&result.adjacency, v, pick);
+    result.added_edges.emplace_back(v, pick);
+  }
+  return result;
+}
+
+}  // namespace geattack

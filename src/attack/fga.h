@@ -1,0 +1,51 @@
+// FGA — fast gradient attack on the adjacency matrix (paper §A.4, after
+// Chen et al. / the FGSM-style graph attack): relax A to a continuous
+// matrix, take the gradient of the attack loss, and greedily add the
+// candidate edge whose gradient entry promises the largest loss decrease.
+//
+// Two modes:
+//   * untargeted FGA: maximize the loss of the currently-predicted label —
+//     the paper uses this both as a baseline and to *choose* each target
+//     node's specific target label (§5.1);
+//   * FGA-T: minimize the loss of a specific target label ŷ (Eq. 4).
+
+#ifndef GEATTACK_SRC_ATTACK_FGA_H_
+#define GEATTACK_SRC_ATTACK_FGA_H_
+
+#include "src/attack/attack.h"
+
+namespace geattack {
+
+/// Gradient-based add-edge attack.
+class FgaAttack : public TargetedAttack {
+ public:
+  /// `targeted` selects FGA-T (true) vs. plain FGA (false).
+  explicit FgaAttack(bool targeted) : targeted_(targeted) {}
+
+  std::string name() const override { return targeted_ ? "FGA-T" : "FGA"; }
+
+  AttackResult Attack(const AttackContext& ctx, const AttackRequest& request,
+                      Rng* rng) const override;
+
+ protected:
+  /// Hook for FGA-T&E: returns candidate endpoints to exclude given the
+  /// current perturbed adjacency.  Base implementation excludes nothing.
+  virtual std::vector<int64_t> ExcludedNodes(const AttackContext& ctx,
+                                             const Tensor& adjacency,
+                                             const AttackRequest& request)
+      const;
+
+ private:
+  bool targeted_;
+};
+
+/// Given the gradient Q = ∇_Â L of a loss to *minimize*, returns the
+/// candidate j whose symmetric gradient score Q[target,j] + Q[j,target] is
+/// most negative (adding that edge most decreases the loss), or -1 if no
+/// candidate improves.  Shared by FGA/FGA-T/GEAttack edge selection.
+int64_t BestCandidateByGradient(const Tensor& gradient, int64_t target,
+                                const std::vector<int64_t>& candidates);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_ATTACK_FGA_H_

@@ -1,0 +1,26 @@
+#include "src/attack/fga_te.h"
+
+#include <set>
+
+namespace geattack {
+
+std::vector<int64_t> FgaTeAttack::ExcludedNodes(
+    const AttackContext& ctx, const Tensor& adjacency,
+    const AttackRequest& request) const {
+  // Explain the model's current prediction at the target on the current
+  // (possibly already perturbed) graph, and avoid the subgraph's nodes.
+  const Tensor logits =
+      ctx.model->LogitsFromRaw(adjacency, ctx.data->features);
+  const int64_t predicted = logits.ArgMaxRow(request.target_node);
+  GnnExplainer explainer(ctx.model, &ctx.data->features, explainer_config_);
+  const Explanation explanation =
+      explainer.Explain(adjacency, request.target_node, predicted);
+  std::set<int64_t> nodes;
+  for (const Edge& e : explanation.TopEdges(subgraph_size_)) {
+    nodes.insert(e.u);
+    nodes.insert(e.v);
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+}  // namespace geattack

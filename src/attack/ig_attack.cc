@@ -1,0 +1,65 @@
+#include "src/attack/ig_attack.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace geattack {
+
+AttackResult IgAttack::Attack(const AttackContext& ctx,
+                              const AttackRequest& request, Rng*) const {
+  GEA_CHECK(request.target_label >= 0);
+  AttackResult result;
+  result.adjacency = ctx.clean_adjacency;
+  const GcnForwardContext fwd =
+      MakeForwardContext(*ctx.model, ctx.data->features);
+  const int64_t v = request.target_node;
+
+  for (int64_t step = 0; step < request.budget; ++step) {
+    auto candidates = DirectAddCandidates(result.adjacency, v,
+                                          ctx.data->labels, /*label*/ -1);
+    if (candidates.empty()) break;
+
+    // Optional gradient shortlist: keep the `shortlist` candidates with the
+    // most loss-decreasing plain gradient.
+    if (config_.shortlist > 0 &&
+        static_cast<int64_t>(candidates.size()) > config_.shortlist) {
+      Var adj = Var::Leaf(result.adjacency, true, "A_hat");
+      Var loss = TargetedAttackLoss(fwd, adj, v, request.target_label);
+      const Tensor g = GradOne(loss, adj).value();
+      std::sort(candidates.begin(), candidates.end(),
+                [&](int64_t a, int64_t b) {
+                  return g.at(v, a) + g.at(a, v) < g.at(v, b) + g.at(b, v);
+                });
+      candidates.resize(static_cast<size_t>(config_.shortlist));
+    }
+
+    // Exact per-candidate integrated gradients along the single-entry path.
+    int64_t best = -1;
+    double best_ig = std::numeric_limits<double>::infinity();
+    for (int64_t j : candidates) {
+      double ig = 0.0;
+      for (int64_t k = 1; k <= config_.steps; ++k) {
+        const double alpha =
+            static_cast<double>(k) / static_cast<double>(config_.steps);
+        Tensor interp = result.adjacency;
+        interp.at(v, j) = alpha;
+        interp.at(j, v) = alpha;
+        Var adj = Var::Leaf(interp, true, "A_alpha");
+        Var loss = TargetedAttackLoss(fwd, adj, v, request.target_label);
+        const Tensor g = GradOne(loss, adj).value();
+        ig += g.at(v, j) + g.at(j, v);
+      }
+      ig /= static_cast<double>(config_.steps);
+      if (ig < best_ig) {
+        best_ig = ig;
+        best = j;
+      }
+    }
+    if (best < 0) break;
+    AddEdgeDense(&result.adjacency, v, best);
+    result.added_edges.emplace_back(v, best);
+  }
+  return result;
+}
+
+}  // namespace geattack

@@ -1,0 +1,24 @@
+#include "src/attack/rna.h"
+
+namespace geattack {
+
+AttackResult RandomAttack::Attack(const AttackContext& ctx,
+                                  const AttackRequest& request,
+                                  Rng* rng) const {
+  GEA_CHECK(rng != nullptr);
+  AttackResult result;
+  result.adjacency = ctx.clean_adjacency;
+  for (int64_t step = 0; step < request.budget; ++step) {
+    auto candidates =
+        DirectAddCandidates(result.adjacency, request.target_node,
+                            ctx.data->labels, request.target_label);
+    if (candidates.empty()) break;
+    const int64_t pick = candidates[rng->UniformInt(
+        0, static_cast<int64_t>(candidates.size()) - 1)];
+    AddEdgeDense(&result.adjacency, request.target_node, pick);
+    result.added_edges.emplace_back(request.target_node, pick);
+  }
+  return result;
+}
+
+}  // namespace geattack

@@ -1,0 +1,23 @@
+// Random Attack (RNA) baseline (paper §A.4): connect the target to random
+// nodes whose label equals the desired target label, up to the budget.
+
+#ifndef GEATTACK_SRC_ATTACK_RNA_H_
+#define GEATTACK_SRC_ATTACK_RNA_H_
+
+#include "src/attack/attack.h"
+
+namespace geattack {
+
+/// The RNA baseline.  Weakest attacker; hardest for an explainer to detect
+/// because random edges carry little predictive influence (Table 1).
+class RandomAttack : public TargetedAttack {
+ public:
+  std::string name() const override { return "RNA"; }
+
+  AttackResult Attack(const AttackContext& ctx, const AttackRequest& request,
+                      Rng* rng) const override;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_ATTACK_RNA_H_

@@ -1,0 +1,66 @@
+#include "src/core/geattack.h"
+
+#include "src/attack/fga.h"
+
+namespace geattack {
+
+AttackResult GeAttack::Attack(const AttackContext& ctx,
+                              const AttackRequest& request, Rng* rng) const {
+  GEA_CHECK(rng != nullptr);
+  GEA_CHECK(request.target_label >= 0);
+  AttackResult result;
+  result.adjacency = ctx.clean_adjacency;
+  const int64_t n = result.adjacency.rows();
+  const int64_t v = request.target_node;
+  const int64_t label = request.target_label;
+  const GcnForwardContext fwd =
+      MakeForwardContext(*ctx.model, ctx.data->features);
+
+  // B = 11ᵀ − I − A: penalty support (line 3).  Kept as a plain tensor;
+  // only row/column v matters for direct attacks.
+  Tensor b = Tensor::Ones(n, n) - Tensor::Identity(n) - ctx.clean_adjacency;
+
+  // M⁰ is randomly initialized once (line 3) and re-used as the inner
+  // loop's starting point in every outer iteration.
+  const Tensor mask_init =
+      rng->NormalTensor(n, n, 0.0, config_.mask_init_scale);
+
+  for (int64_t outer = 0; outer < request.budget; ++outer) {
+    // Ahat participates in both loss terms and in every inner update.
+    Var adj = Var::Leaf(result.adjacency, /*requires_grad=*/true, "A_hat");
+
+    // ----- Inner loop (lines 5-8): differentiable explainer mimicry. -----
+    Var mask = Var::Leaf(mask_init, /*requires_grad=*/true, "M0");
+    for (int64_t t = 0; t < config_.inner_steps; ++t) {
+      Var inner_loss =
+          GnnExplainer::ExplainerLoss(fwd, adj, mask, v, label);
+      // create_graph keeps P's dependence on `adj`, which is what makes the
+      // outer gradient a true hypergradient.
+      Var p = GradOne(inner_loss, mask, {.create_graph = true});
+      mask = Sub(mask, MulScalar(p, config_.eta));
+    }
+
+    // ----- Outer objective (Eq. 7). -----
+    Var attack_loss = TargetedAttackLoss(fwd, adj, v, label);
+    // Penalty: Σ_j M^T[v,j]·B[v,j] over the candidate neighbors of v.
+    Var penalty =
+        Sum(Mul(SelectRow(mask, v), Constant(b.Row(v), "B_row")));
+    Var total = Add(attack_loss, MulScalar(penalty, config_.lambda));
+
+    // ----- Outer gradient and greedy edge selection (lines 9-10). -----
+    const Tensor q = GradOne(total, adj).value();
+    const auto candidates = DirectAddCandidates(result.adjacency, v,
+                                                ctx.data->labels, /*label*/ -1);
+    const int64_t pick = BestCandidateByGradient(q, v, candidates);
+    if (pick < 0) break;
+    AddEdgeDense(&result.adjacency, v, pick);
+    result.added_edges.emplace_back(v, pick);
+    if (!config_.keep_penalty_on_added) {
+      b.at(v, pick) = 0.0;
+      b.at(pick, v) = 0.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace geattack

@@ -1,0 +1,82 @@
+#include "src/core/geattack_pg.h"
+
+#include "src/attack/fga.h"
+
+namespace geattack {
+
+AttackResult GeAttackPg::Attack(const AttackContext& ctx,
+                                const AttackRequest& request, Rng*) const {
+  GEA_CHECK(explainer_ != nullptr && explainer_->trained());
+  GEA_CHECK(request.target_label >= 0);
+  AttackResult result;
+  result.adjacency = ctx.clean_adjacency;
+  const int64_t n = result.adjacency.rows();
+  const int64_t v = request.target_node;
+  const int64_t label = request.target_label;
+  const GcnForwardContext fwd =
+      MakeForwardContext(*ctx.model, ctx.data->features);
+  const int hops = explainer_->config().hops;
+
+  Tensor b = Tensor::Ones(n, n) - Tensor::Identity(n) - ctx.clean_adjacency;
+
+  for (int64_t outer = 0; outer < request.budget; ++outer) {
+    Var adj = Var::Leaf(result.adjacency, /*requires_grad=*/true, "A_hat");
+    // Embeddings depend on Â differentiably: H = ReLU(norm(Â)·XW₁).
+    Var norm = NormalizeAdjacencyVar(adj);
+    Var hidden = Relu(MatMul(norm, fwd.xw1));
+
+    const Graph current = Graph::FromDense(result.adjacency);
+    const auto pairs = ComputationSubgraphPairs(current, v, hops);
+
+    // ----- Inner loop: differentiable ψ updates (PGExplainer training
+    // steps on the current Â, instance v). -----
+    Var w1 = Var::Leaf(explainer_->params().w1, true, "pg_w1");
+    Var b1 = Var::Leaf(explainer_->params().b1, true, "pg_b1");
+    Var w2 = Var::Leaf(explainer_->params().w2, true, "pg_w2");
+    if (!pairs.empty()) {
+      for (int64_t t = 0; t < config_.inner_steps; ++t) {
+        Var omega = PgEdgeLogits(hidden, pairs, v, w1, b1, w2);
+        Var gate = Sigmoid(omega);
+        Var masked = Add(adj, ScatterEdges(AddScalar(gate, -1.0), pairs, n));
+        Var logits = GcnLogitsVar(fwd, masked);
+        Var inner_loss = NllRow(logits, v, label);
+        auto grads = Grad(inner_loss, {w1, b1, w2}, {.create_graph = true});
+        w1 = Sub(w1, MulScalar(grads[0], config_.eta));
+        b1 = Sub(b1, MulScalar(grads[1], config_.eta));
+        w2 = Sub(w2, MulScalar(grads[2], config_.eta));
+      }
+    }
+
+    // ----- Outer objective: attack loss + λ · Σ ω(v, j)·B[v,j] over the
+    // candidate edges. -----
+    const auto candidates = DirectAddCandidates(result.adjacency, v,
+                                                ctx.data->labels, /*label*/ -1);
+    if (candidates.empty()) break;
+    std::vector<IndexPair> candidate_pairs;
+    Tensor b_vec(static_cast<int64_t>(candidates.size()), 1);
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      candidate_pairs.push_back({v, candidates[k]});
+      b_vec.at(static_cast<int64_t>(k), 0) = b.at(v, candidates[k]);
+    }
+    Var omega_cand =
+        PgEdgeLogits(hidden, candidate_pairs, v, w1, b1, w2);
+    // Mean (not sum) over candidates so λ is insensitive to graph size.
+    Var penalty = MulScalar(Sum(Mul(omega_cand, Constant(b_vec, "B_cand"))),
+                            1.0 / static_cast<double>(candidates.size()));
+    Var total = Add(TargetedAttackLoss(fwd, adj, v, label),
+                    MulScalar(penalty, config_.lambda));
+
+    const Tensor q = GradOne(total, adj).value();
+    const int64_t pick = BestCandidateByGradient(q, v, candidates);
+    if (pick < 0) break;
+    AddEdgeDense(&result.adjacency, v, pick);
+    result.added_edges.emplace_back(v, pick);
+    if (!config_.keep_penalty_on_added) {
+      b.at(v, pick) = 0.0;
+      b.at(pick, v) = 0.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace geattack

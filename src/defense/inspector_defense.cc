@@ -1,0 +1,80 @@
+#include "src/defense/inspector_defense.h"
+
+#include <set>
+
+namespace geattack {
+
+namespace {
+
+/// Removes the highest-ranked explanation edge incident to `node`.
+/// Returns false if none found.
+bool PruneTopIncident(const Explanation& explanation, int64_t node,
+                      int64_t subgraph_size, Tensor* adjacency,
+                      std::vector<Edge>* pruned) {
+  for (const Edge& e : explanation.TopEdges(subgraph_size)) {
+    if (e.u != node && e.v != node) continue;
+    if (adjacency->at(e.u, e.v) == 0.0) continue;
+    adjacency->at(e.u, e.v) = 0.0;
+    adjacency->at(e.v, e.u) = 0.0;
+    pruned->push_back(e);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DefenseOutcome InspectAndPrune(const Gcn& model, const Tensor& features,
+                               const Explainer& explainer,
+                               const Tensor& adjacency, int64_t node,
+                               const InspectorDefenseConfig& config,
+                               const std::vector<Edge>* known_adversarial) {
+  DefenseOutcome outcome;
+  const Tensor logits_before = model.LogitsFromRaw(adjacency, features);
+  outcome.prediction_before = logits_before.ArgMaxRow(node);
+  outcome.pruned_adjacency = adjacency;
+  outcome.prediction_after = outcome.prediction_before;
+
+  if (config.iterative) {
+    // Analyst loop: prune one suspect, re-inspect, stop when the prediction
+    // flips (the anomaly is "resolved") or the budget runs out.
+    for (int64_t round = 0; round < config.prune_top; ++round) {
+      const Explanation explanation = explainer.Explain(
+          outcome.pruned_adjacency, node, outcome.prediction_after);
+      if (!PruneTopIncident(explanation, node, config.subgraph_size,
+                            &outcome.pruned_adjacency,
+                            &outcome.pruned_edges)) {
+        break;
+      }
+      const Tensor logits =
+          model.LogitsFromRaw(outcome.pruned_adjacency, features);
+      outcome.prediction_after = logits.ArgMaxRow(node);
+      if (outcome.prediction_after != outcome.prediction_before) break;
+    }
+  } else {
+    const Explanation explanation =
+        explainer.Explain(adjacency, node, outcome.prediction_before);
+    int64_t pruned = 0;
+    for (const Edge& e : explanation.TopEdges(config.subgraph_size)) {
+      if (pruned >= config.prune_top) break;
+      if (e.u != node && e.v != node) continue;
+      outcome.pruned_adjacency.at(e.u, e.v) = 0.0;
+      outcome.pruned_adjacency.at(e.v, e.u) = 0.0;
+      outcome.pruned_edges.push_back(e);
+      ++pruned;
+    }
+    const Tensor logits =
+        model.LogitsFromRaw(outcome.pruned_adjacency, features);
+    outcome.prediction_after = logits.ArgMaxRow(node);
+  }
+
+  if (known_adversarial != nullptr) {
+    const std::set<Edge> adv(known_adversarial->begin(),
+                             known_adversarial->end());
+    for (const Edge& e : outcome.pruned_edges)
+      if (adv.count(e)) ++outcome.true_adversarial_pruned;
+  }
+  return outcome;
+}
+
+}  // namespace geattack

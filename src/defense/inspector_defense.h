@@ -1,0 +1,63 @@
+// Explanation-based defense (the paper's motivating workflow, §1/§3).
+//
+// The paper argues GNNEXPLAINER "can act as an inspection tool": when a
+// prediction looks suspicious, an inspector explains it, examines the
+// top-ranked edges, and excludes those judged adversarial.  This module
+// mechanizes that loop so it can be measured:
+//
+//   1. explain the (possibly attacked) prediction at the target;
+//   2. mark the top-R explanation edges incident to the target as suspect;
+//   3. prune them and re-predict.
+//
+// Against attacks whose edges the explainer surfaces (FGA-T, Nettack), the
+// defense restores the original label; against GEAttack it degrades —
+// quantifying exactly the safety gap the paper warns about.
+
+#ifndef GEATTACK_SRC_DEFENSE_INSPECTOR_DEFENSE_H_
+#define GEATTACK_SRC_DEFENSE_INSPECTOR_DEFENSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/explain/explanation.h"
+#include "src/nn/gcn.h"
+
+namespace geattack {
+
+/// Defense configuration.
+struct InspectorDefenseConfig {
+  /// How many top explanation edges (incident to the inspected node) the
+  /// inspector removes — the total pruning budget.
+  int64_t prune_top = 3;
+  /// Subgraph size L the inspector examines.
+  int64_t subgraph_size = 20;
+  /// Iterative mode: prune the single most suspicious incident edge,
+  /// re-explain on the pruned graph, and stop as soon as the prediction
+  /// changes (the analyst's actual workflow).  One-shot mode (false) prunes
+  /// the top `prune_top` at once.
+  bool iterative = true;
+};
+
+/// Outcome of one inspect-and-prune pass.
+struct DefenseOutcome {
+  Tensor pruned_adjacency;           ///< Graph after removing suspects.
+  std::vector<Edge> pruned_edges;    ///< What the inspector removed.
+  int64_t prediction_before = -1;    ///< Model prediction pre-defense.
+  int64_t prediction_after = -1;     ///< Model prediction post-defense.
+  int64_t true_adversarial_pruned = 0;  ///< How many pruned edges were real
+                                        ///< adversarial edges (if known).
+};
+
+/// Runs the inspect-and-prune loop on `adjacency` at `node` with the given
+/// explainer.  `known_adversarial` (optional, evaluation only) lets the
+/// caller score how many pruned edges were truly adversarial.
+DefenseOutcome InspectAndPrune(const Gcn& model, const Tensor& features,
+                               const Explainer& explainer,
+                               const Tensor& adjacency, int64_t node,
+                               const InspectorDefenseConfig& config,
+                               const std::vector<Edge>* known_adversarial =
+                                   nullptr);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_DEFENSE_INSPECTOR_DEFENSE_H_

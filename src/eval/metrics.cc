@@ -1,0 +1,62 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace geattack {
+
+DetectionMetrics ComputeDetection(const Explanation& explanation,
+                                  const std::vector<Edge>& adversarial_edges,
+                                  int64_t subgraph_size, int64_t k) {
+  DetectionMetrics m;
+  if (adversarial_edges.empty() || k <= 0) return m;
+  const std::set<Edge> adv(adversarial_edges.begin(),
+                           adversarial_edges.end());
+
+  // The inspector sees the top-L subgraph; metrics are @K within it.
+  const std::vector<Edge> subgraph = explanation.TopEdges(subgraph_size);
+  const int64_t kk =
+      std::min<int64_t>(k, static_cast<int64_t>(subgraph.size()));
+
+  int64_t hits = 0;
+  double dcg = 0.0;
+  for (int64_t rank = 0; rank < kk; ++rank) {
+    if (adv.count(subgraph[static_cast<size_t>(rank)])) {
+      ++hits;
+      dcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+    }
+  }
+  m.precision = static_cast<double>(hits) / static_cast<double>(k);
+  m.recall = static_cast<double>(hits) /
+             static_cast<double>(adversarial_edges.size());
+  if (m.precision + m.recall > 0)
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+
+  const int64_t ideal_hits =
+      std::min<int64_t>(static_cast<int64_t>(adversarial_edges.size()), k);
+  double idcg = 0.0;
+  for (int64_t rank = 0; rank < ideal_hits; ++rank)
+    idcg += 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  if (idcg > 0) m.ndcg = dcg / idcg;
+  return m;
+}
+
+void RunningStats::Add(double v) {
+  ++count_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+double RunningStats::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace geattack

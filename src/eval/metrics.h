@@ -1,0 +1,53 @@
+// Evaluation metrics (paper §A.2).
+//
+// Two families:
+//  * attack success: ASR (any wrong label) and ASR-T (the specific target
+//    label) over the evaluated targets;
+//  * detection rate of the adversarial edges in the explainer's output:
+//    Precision@K, Recall@K, F1@K over the top-K of the explanation ranking
+//    (after truncating the ranking to the top-L subgraph), and NDCG@K which
+//    also accounts for the rank positions.  Higher = easier for an
+//    inspector to spot the attack; the joint attacker wants these low.
+
+#ifndef GEATTACK_SRC_EVAL_METRICS_H_
+#define GEATTACK_SRC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/explain/explanation.h"
+
+namespace geattack {
+
+/// Detection scores of one explanation against the planted edges.
+struct DetectionMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double ndcg = 0.0;
+};
+
+/// Computes detection metrics of `adversarial_edges` within `explanation`:
+/// the ranking is truncated to the top-`subgraph_size` (L) explanation
+/// subgraph, then Precision/Recall/F1/NDCG are taken at `k` (K).
+DetectionMetrics ComputeDetection(const Explanation& explanation,
+                                  const std::vector<Edge>& adversarial_edges,
+                                  int64_t subgraph_size, int64_t k);
+
+/// Running mean and sample standard deviation.
+class RunningStats {
+ public:
+  void Add(double v);
+  int64_t count() const { return count_; }
+  double mean() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_EVAL_METRICS_H_

@@ -1,0 +1,124 @@
+#include "src/eval/pipeline.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/attack/fga.h"
+
+namespace geattack {
+
+std::vector<int64_t> SelectTargetNodes(const GraphData& data,
+                                       const Tensor& clean_logits,
+                                       const std::vector<int64_t>& test_nodes,
+                                       const TargetSelectionConfig& config,
+                                       Rng* rng) {
+  GEA_CHECK(rng != nullptr);
+  // Only correctly classified nodes are meaningful victims.
+  std::vector<std::pair<double, int64_t>> by_margin;
+  for (int64_t node : test_nodes) {
+    if (clean_logits.ArgMaxRow(node) != data.labels[node]) continue;
+    by_margin.emplace_back(
+        ClassificationMargin(clean_logits, node, data.labels[node]), node);
+  }
+  std::sort(by_margin.begin(), by_margin.end());
+
+  std::set<int64_t> chosen;
+  const int64_t m = static_cast<int64_t>(by_margin.size());
+  for (int64_t i = 0; i < std::min(config.bottom_margin, m); ++i)
+    chosen.insert(by_margin[static_cast<size_t>(i)].second);
+  for (int64_t i = 0; i < std::min(config.top_margin, m); ++i)
+    chosen.insert(by_margin[static_cast<size_t>(m - 1 - i)].second);
+
+  // Random fill from the remaining correctly-classified pool.
+  std::vector<int64_t> pool;
+  for (const auto& [margin, node] : by_margin)
+    if (!chosen.count(node)) pool.push_back(node);
+  rng->Shuffle(&pool);
+  for (int64_t i = 0;
+       i < config.random && i < static_cast<int64_t>(pool.size()); ++i)
+    chosen.insert(pool[static_cast<size_t>(i)]);
+
+  return {chosen.begin(), chosen.end()};
+}
+
+std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
+                                           const std::vector<int64_t>& nodes,
+                                           Rng* rng) {
+  GEA_CHECK(rng != nullptr);
+  const FgaAttack fga(/*targeted=*/false);
+  std::vector<PreparedTarget> prepared;
+  for (int64_t node : nodes) {
+    PreparedTarget t;
+    t.node = node;
+    t.true_label = ctx.data->labels[node];
+    t.budget = std::max<int64_t>(1, ctx.data->graph.Degree(node));
+
+    AttackRequest request;
+    request.target_node = node;
+    request.target_label = -1;
+    request.budget = t.budget;
+    const AttackResult probe = fga.Attack(ctx, request, rng);
+    const Tensor logits =
+        ctx.model->LogitsFromRaw(probe.adjacency, ctx.data->features);
+    const int64_t flipped = logits.ArgMaxRow(node);
+    if (flipped == t.true_label) continue;  // FGA failed; drop (§5.1).
+    t.target_label = flipped;
+    prepared.push_back(t);
+  }
+  return prepared;
+}
+
+JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
+                                  const TargetedAttack& attack,
+                                  const std::vector<PreparedTarget>& targets,
+                                  const Explainer& explainer,
+                                  const EvalConfig& eval_config, Rng* rng) {
+  JointAttackOutcome outcome;
+  if (targets.empty()) return outcome;
+  RunningStats asr, asr_t, precision, recall, f1, ndcg;
+
+  for (const PreparedTarget& t : targets) {
+    AttackRequest request;
+    request.target_node = t.node;
+    request.target_label = t.target_label;
+    request.budget = t.budget;
+    const AttackResult result = attack.Attack(ctx, request, rng);
+
+    const Tensor logits =
+        ctx.model->LogitsFromRaw(result.adjacency, ctx.data->features);
+    const int64_t predicted = logits.ArgMaxRow(t.node);
+    asr.Add(predicted != t.true_label ? 1.0 : 0.0);
+    asr_t.Add(predicted == t.target_label ? 1.0 : 0.0);
+
+    // Inspect: explain the model's (post-attack) prediction at the target
+    // and score how visible the adversarial edges are.
+    const Explanation explanation =
+        explainer.Explain(result.adjacency, t.node, predicted);
+    const DetectionMetrics d =
+        ComputeDetection(explanation, result.added_edges,
+                         eval_config.subgraph_size, eval_config.k);
+    precision.Add(d.precision);
+    recall.Add(d.recall);
+    f1.Add(d.f1);
+    ndcg.Add(d.ndcg);
+  }
+
+  outcome.asr = asr.mean();
+  outcome.asr_t = asr_t.mean();
+  outcome.detection.precision = precision.mean();
+  outcome.detection.recall = recall.mean();
+  outcome.detection.f1 = f1.mean();
+  outcome.detection.ndcg = ndcg.mean();
+  outcome.num_targets = static_cast<int64_t>(targets.size());
+  return outcome;
+}
+
+AttackContext MakeAttackContext(const GraphData& data, const Gcn& model) {
+  AttackContext ctx;
+  ctx.data = &data;
+  ctx.model = &model;
+  ctx.clean_adjacency = data.graph.DenseAdjacency();
+  return ctx;
+}
+
+}  // namespace geattack

@@ -1,0 +1,87 @@
+// Experiment orchestration: target selection, target-label assignment, and
+// the joint attack-then-inspect evaluation protocol of §5.1.
+//
+// Protocol per dataset and seed:
+//   1. generate data, split 10/10/80, train the GCN;
+//   2. select victim targets among correctly-classified test nodes:
+//      10 with the highest classification margin, 10 with the lowest,
+//      the rest random (IG-Attack's protocol, §5.1);
+//   3. assign each target a *specific* incorrect label by running plain
+//      (untargeted) FGA; nodes FGA cannot flip are dropped;
+//   4. per attacker: perturb (budget Δ = degree), record ASR / ASR-T, then
+//      run the explainer on the perturbed graph at the target and score the
+//      detectability of the added edges (P/R/F1/NDCG @ K within the top-L
+//      subgraph).
+
+#ifndef GEATTACK_SRC_EVAL_PIPELINE_H_
+#define GEATTACK_SRC_EVAL_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attack/attack.h"
+#include "src/eval/metrics.h"
+#include "src/explain/explanation.h"
+#include "src/graph/graph.h"
+#include "src/nn/gcn.h"
+#include "src/tensor/random.h"
+
+namespace geattack {
+
+/// How many victim nodes of each kind to select (paper: 10/10/20).
+struct TargetSelectionConfig {
+  int64_t top_margin = 10;
+  int64_t bottom_margin = 10;
+  int64_t random = 20;
+};
+
+/// Correctly-classified test nodes picked by margin extremes plus random
+/// fill, per the paper's protocol.  Returns fewer if the test set is small.
+std::vector<int64_t> SelectTargetNodes(const GraphData& data,
+                                       const Tensor& clean_logits,
+                                       const std::vector<int64_t>& test_nodes,
+                                       const TargetSelectionConfig& config,
+                                       Rng* rng);
+
+/// A victim node with its assigned specific target label and budget.
+struct PreparedTarget {
+  int64_t node = -1;
+  int64_t true_label = -1;
+  int64_t target_label = -1;  ///< ŷ from the preparatory FGA run.
+  int64_t budget = 0;         ///< Δ = clean degree (≥ 1).
+};
+
+/// Assigns target labels by running untargeted FGA per node (§5.1); nodes
+/// that FGA fails to flip are excluded.
+std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
+                                           const std::vector<int64_t>& nodes,
+                                           Rng* rng);
+
+/// Aggregated outcome of one attacker over a set of prepared targets.
+struct JointAttackOutcome {
+  double asr = 0.0;    ///< Fraction flipped to any wrong label.
+  double asr_t = 0.0;  ///< Fraction flipped to the specific target label.
+  DetectionMetrics detection;  ///< Mean over successfully evaluated targets.
+  int64_t num_targets = 0;
+};
+
+/// Evaluation knobs (paper §A.2: L = 20, K = 15).
+struct EvalConfig {
+  int64_t subgraph_size = 20;  ///< L.
+  int64_t k = 15;              ///< K.
+};
+
+/// Runs `attack` on every prepared target and inspects each perturbed graph
+/// with `explainer`.
+JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
+                                  const TargetedAttack& attack,
+                                  const std::vector<PreparedTarget>& targets,
+                                  const Explainer& explainer,
+                                  const EvalConfig& eval_config, Rng* rng);
+
+/// Builds an AttackContext view over `data` and `model`.
+AttackContext MakeAttackContext(const GraphData& data, const Gcn& model);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_EVAL_PIPELINE_H_

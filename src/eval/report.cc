@@ -1,0 +1,52 @@
+#include "src/eval/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace geattack {
+
+std::string SeedAggregate::Cell() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << 100.0 * mean() << "±"
+     << std::setprecision(2) << 100.0 * stddev();
+  return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace geattack

@@ -1,0 +1,49 @@
+// Tabular reporting helpers: mean±std cells and aligned table printing, so
+// every bench binary emits rows formatted like the paper's tables.
+
+#ifndef GEATTACK_SRC_EVAL_REPORT_H_
+#define GEATTACK_SRC_EVAL_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/eval/metrics.h"
+
+namespace geattack {
+
+/// Accumulates one metric across seeds and renders "mean±std" (in percent,
+/// like the paper's tables).
+class SeedAggregate {
+ public:
+  void Add(double v) { stats_.Add(v); }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  /// "99.11±0.01"-style cell (values scaled by 100).
+  std::string Cell() const;
+
+ private:
+  RunningStats stats_;
+};
+
+/// Simple aligned-column table writer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Renders with padded columns and a header separator.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string FormatDouble(double v, int digits = 2);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_EVAL_REPORT_H_

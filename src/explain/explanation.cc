@@ -1,0 +1,30 @@
+#include "src/explain/explanation.h"
+
+#include <algorithm>
+
+namespace geattack {
+
+void SortScoredEdges(std::vector<ScoredEdge>* edges) {
+  std::sort(edges->begin(), edges->end(),
+            [](const ScoredEdge& a, const ScoredEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.edge < b.edge;
+            });
+}
+
+std::vector<Edge> Explanation::TopEdges(int64_t limit) const {
+  std::vector<Edge> top;
+  const int64_t k =
+      std::min<int64_t>(limit, static_cast<int64_t>(ranked_edges.size()));
+  top.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) top.push_back(ranked_edges[i].edge);
+  return top;
+}
+
+int64_t Explanation::RankOf(const Edge& edge) const {
+  for (size_t i = 0; i < ranked_edges.size(); ++i)
+    if (ranked_edges[i].edge == edge) return static_cast<int64_t>(i);
+  return -1;
+}
+
+}  // namespace geattack

@@ -1,0 +1,54 @@
+// Explanation output shared by GNNExplainer and PGExplainer.
+//
+// An explanation for a node's prediction is a ranking of the edges of the
+// node's computation subgraph by importance weight; the top-L edges form the
+// explanation subgraph G_S shown to an inspector (paper §3).
+
+#ifndef GEATTACK_SRC_EXPLAIN_EXPLANATION_H_
+#define GEATTACK_SRC_EXPLAIN_EXPLANATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace geattack {
+
+/// An edge with its learned importance weight.
+struct ScoredEdge {
+  Edge edge;
+  double weight = 0.0;
+};
+
+/// A ranked explanation of one node's prediction.
+struct Explanation {
+  int64_t node = -1;        ///< The explained (target) node.
+  int64_t label = -1;       ///< The prediction being explained.
+  /// All computation-subgraph edges, sorted by weight descending (ties
+  /// broken by canonical edge order for determinism).
+  std::vector<ScoredEdge> ranked_edges;
+
+  /// The top-L explanation subgraph edges (fewer if the ranking is shorter).
+  std::vector<Edge> TopEdges(int64_t limit) const;
+
+  /// 0-based rank of `edge` in the ranking, or -1 if absent.
+  int64_t RankOf(const Edge& edge) const;
+};
+
+/// Sorts scored edges by weight descending with deterministic tie-breaks.
+void SortScoredEdges(std::vector<ScoredEdge>* edges);
+
+/// Common interface so attacks/evaluation can be explainer-agnostic.
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  /// Explains model prediction `label` for `node` on the graph given by the
+  /// dense `adjacency`.
+  virtual Explanation Explain(const Tensor& adjacency, int64_t node,
+                              int64_t label) const = 0;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_EXPLAIN_EXPLANATION_H_

@@ -1,0 +1,42 @@
+#include "src/explain/grad_explainer.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace geattack {
+
+GradExplainer::GradExplainer(const Gcn* model, const Tensor* features,
+                             const GradExplainerConfig& config)
+    : model_(model), features_(features), config_(config) {
+  GEA_CHECK(model != nullptr && features != nullptr);
+}
+
+Explanation GradExplainer::Explain(const Tensor& adjacency, int64_t node,
+                                   int64_t label) const {
+  const GcnForwardContext ctx = MakeForwardContext(*model_, *features_);
+  Var adj = Var::Leaf(adjacency, /*requires_grad=*/true, "A");
+  Var loss = NllRow(GcnLogitsVar(ctx, adj), node, label);
+  const Tensor g = GradOne(loss, adj).value();
+
+  const Graph graph = Graph::FromDense(adjacency);
+  std::unordered_set<int64_t> in_subgraph;
+  if (config_.restrict_to_subgraph) {
+    const auto nodes = graph.KHopNeighborhood(node, config_.hops);
+    in_subgraph.insert(nodes.begin(), nodes.end());
+  }
+
+  Explanation explanation;
+  explanation.node = node;
+  explanation.label = label;
+  for (const Edge& e : graph.Edges()) {
+    if (config_.restrict_to_subgraph &&
+        (!in_subgraph.count(e.u) || !in_subgraph.count(e.v)))
+      continue;
+    const double saliency = std::fabs(g.at(e.u, e.v) + g.at(e.v, e.u));
+    explanation.ranked_edges.push_back({e, saliency});
+  }
+  SortScoredEdges(&explanation.ranked_edges);
+  return explanation;
+}
+
+}  // namespace geattack

@@ -1,0 +1,44 @@
+// Gradient-saliency explainer (baseline explainer).
+//
+// The cheapest possible edge-attribution method: rank edges by the
+// magnitude of the prediction-loss gradient with respect to the adjacency,
+// |∂(-log f(A,X)[v,ŷ])/∂A[i,j]|.  One backward pass, no optimization.
+// Related-work explainers (Grad/Grad-CAM style saliency) reduce to this on
+// graph structure; it serves as a floor for the learned explainers and as a
+// fast inspector in the defense module.
+
+#ifndef GEATTACK_SRC_EXPLAIN_GRAD_EXPLAINER_H_
+#define GEATTACK_SRC_EXPLAIN_GRAD_EXPLAINER_H_
+
+#include "src/explain/explanation.h"
+#include "src/nn/gcn.h"
+
+namespace geattack {
+
+/// Saliency configuration.
+struct GradExplainerConfig {
+  /// Restrict ranking to the 2-hop computation subgraph (edges outside it
+  /// have exactly zero gradient for a 2-layer GCN, so this only trims
+  /// zero-weight tail entries).
+  int hops = 2;
+  bool restrict_to_subgraph = true;
+};
+
+/// One-backward-pass edge saliency.
+class GradExplainer : public Explainer {
+ public:
+  GradExplainer(const Gcn* model, const Tensor* features,
+                const GradExplainerConfig& config = {});
+
+  Explanation Explain(const Tensor& adjacency, int64_t node,
+                      int64_t label) const override;
+
+ private:
+  const Gcn* model_;
+  const Tensor* features_;
+  GradExplainerConfig config_;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_EXPLAIN_GRAD_EXPLAINER_H_

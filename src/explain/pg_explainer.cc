@@ -1,0 +1,156 @@
+#include "src/explain/pg_explainer.h"
+
+#include <unordered_set>
+
+#include "src/nn/adam.h"
+
+namespace geattack {
+
+namespace {
+
+/// Row-selector constant: (m, n) matrix with S[e, pick(e)] = 1, so S·H
+/// gathers hidden rows for each edge slot.
+Tensor RowSelector(const std::vector<int64_t>& picks, int64_t n) {
+  Tensor s(static_cast<int64_t>(picks.size()), n);
+  for (size_t e = 0; e < picks.size(); ++e) {
+    GEA_CHECK(picks[e] >= 0 && picks[e] < n);
+    s.at(static_cast<int64_t>(e), picks[e]) = 1.0;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<IndexPair> ComputationSubgraphPairs(const Graph& graph,
+                                                int64_t node, int hops) {
+  const auto nodes = graph.KHopNeighborhood(node, hops);
+  const std::unordered_set<int64_t> in_subgraph(nodes.begin(), nodes.end());
+  std::vector<IndexPair> pairs;
+  for (const Edge& e : graph.Edges())
+    if (in_subgraph.count(e.u) && in_subgraph.count(e.v))
+      pairs.push_back({e.u, e.v});
+  return pairs;
+}
+
+Var PgEdgeLogits(const Var& hidden, const std::vector<IndexPair>& pairs,
+                 int64_t target, const Var& w1, const Var& b1,
+                 const Var& w2) {
+  GEA_CHECK(hidden.defined());
+  const int64_t n = hidden.rows();
+  std::vector<int64_t> us, vs, ts;
+  us.reserve(pairs.size());
+  vs.reserve(pairs.size());
+  ts.assign(pairs.size(), target);
+  for (const auto& p : pairs) {
+    us.push_back(p.u);
+    vs.push_back(p.v);
+  }
+  Var hu = MatMul(Constant(RowSelector(us, n), "sel_u"), hidden);
+  Var hv = MatMul(Constant(RowSelector(vs, n), "sel_v"), hidden);
+  Var ht = MatMul(Constant(RowSelector(ts, n), "sel_t"), hidden);
+  Var e = HConcat(HConcat(hu, hv), ht);  // (m, 3h).
+  Var hidden_layer = Relu(Add(MatMul(e, w1), b1));
+  return MatMul(hidden_layer, w2);  // (m, 1) pre-sigmoid weights.
+}
+
+PgExplainer::PgExplainer(const Gcn* model, const Tensor* features,
+                         const PgExplainerConfig& config)
+    : model_(model), features_(features), config_(config) {
+  GEA_CHECK(model != nullptr && features != nullptr);
+  Rng rng(config.seed * 7919ull + 13ull);
+  const int64_t h3 = 3 * model->config().hidden_dim;
+  params_.w1 = rng.GlorotTensor(h3, config.mlp_hidden);
+  params_.b1 = Tensor(1, config.mlp_hidden);
+  params_.w2 = rng.GlorotTensor(config.mlp_hidden, 1);
+}
+
+void PgExplainer::Train(const Tensor& adjacency,
+                        const std::vector<int64_t>& instances,
+                        const std::vector<int64_t>& labels) {
+  GEA_CHECK(!instances.empty());
+  const int64_t n = adjacency.rows();
+  const Tensor norm = NormalizeAdjacency(adjacency);
+  const Var hidden = Constant(model_->Hidden(norm, *features_), "H");
+  const Var adj = Constant(adjacency, "A");
+  const GcnForwardContext ctx = MakeForwardContext(*model_, *features_);
+  const Graph graph = Graph::FromDense(adjacency);
+
+  // Precompute per-instance subgraph pairs once.
+  std::vector<std::vector<IndexPair>> pairs_of;
+  pairs_of.reserve(instances.size());
+  for (int64_t v : instances)
+    pairs_of.push_back(ComputationSubgraphPairs(graph, v, config_.hops));
+
+  Adam adam({.lr = config_.lr});
+  adam.Register(&params_.w1);
+  adam.Register(&params_.b1);
+  adam.Register(&params_.w2);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Var w1 = Var::Leaf(params_.w1, true, "pg_w1");
+    Var b1 = Var::Leaf(params_.b1, true, "pg_b1");
+    Var w2 = Var::Leaf(params_.w2, true, "pg_w2");
+    Var total;
+    for (size_t k = 0; k < instances.size(); ++k) {
+      const int64_t v = instances[k];
+      const auto& pairs = pairs_of[k];
+      if (pairs.empty()) continue;
+      Var omega = PgEdgeLogits(hidden, pairs, v, w1, b1, w2);
+      Var gate = Sigmoid(omega);
+      // Masked graph = A with subgraph edges re-weighted by the gate:
+      // A + scatter(gate - 1) zeroes out down-weighted edges only.
+      Var masked = Add(adj, ScatterEdges(AddScalar(gate, -1.0), pairs, n));
+      Var logits = GcnLogitsVar(ctx, masked);
+      Var loss = NllRow(logits, v, labels[v]);
+      // Both regularizers are normalized per edge so they do not swamp the
+      // single-instance NLL on large subgraphs.
+      if (config_.size_coeff > 0)
+        loss = Add(loss, MulScalar(Sum(gate), config_.size_coeff /
+                                                  static_cast<double>(
+                                                      pairs.size())));
+      if (config_.entropy_coeff > 0) {
+        Var gc = AddScalar(MulScalar(gate, 0.998), 0.001);
+        Var om = AddScalar(Neg(gc), 1.0);
+        Var ent = Neg(Add(Mul(gc, Log(gc)), Mul(om, Log(om))));
+        loss = Add(loss, MulScalar(Sum(ent), config_.entropy_coeff /
+                                                static_cast<double>(
+                                                    pairs.size())));
+      }
+      total = total.defined() ? Add(total, loss) : loss;
+    }
+    if (!total.defined()) break;
+    auto grads = Grad(total, {w1, b1, w2});
+    adam.Step({grads[0].value(), grads[1].value(), grads[2].value()});
+  }
+  trained_ = true;
+}
+
+Explanation PgExplainer::Explain(const Tensor& adjacency, int64_t node,
+                                 int64_t label) const {
+  const Tensor norm = NormalizeAdjacency(adjacency);
+  const Var hidden = Constant(model_->Hidden(norm, *features_), "H");
+  const Graph graph = Graph::FromDense(adjacency);
+  std::vector<IndexPair> pairs;
+  if (config_.restrict_to_subgraph) {
+    pairs = ComputationSubgraphPairs(graph, node, config_.hops);
+  } else {
+    for (const Edge& e : graph.Edges()) pairs.push_back({e.u, e.v});
+  }
+
+  Explanation explanation;
+  explanation.node = node;
+  explanation.label = label;
+  if (pairs.empty()) return explanation;
+
+  Var omega = PgEdgeLogits(hidden, pairs, node, Constant(params_.w1),
+                           Constant(params_.b1), Constant(params_.w2));
+  Tensor gate = omega.value().Sigmoid();
+  for (size_t e = 0; e < pairs.size(); ++e) {
+    explanation.ranked_edges.push_back(
+        {Edge(pairs[e].u, pairs[e].v), gate.at(static_cast<int64_t>(e), 0)});
+  }
+  SortScoredEdges(&explanation.ranked_edges);
+  return explanation;
+}
+
+}  // namespace geattack

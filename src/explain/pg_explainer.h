@@ -1,0 +1,95 @@
+// PGExplainer (Luo et al., NeurIPS'20): a parameterized explainer that
+// learns, once, an MLP g_ψ mapping edge representations to importance
+// weights, then explains any instance inductively.
+//
+// For node-classification, the edge representation of (i,j) when explaining
+// node v is [h_i ; h_j ; h_v] with h the trained GCN's hidden embeddings;
+// the learned weight is ω_ij = MLP_ψ([h_i; h_j; h_v]) and the explanation
+// mask is σ(ω).  Training maximizes prediction preservation over a set of
+// instances with size/entropy regularizers (we use the deterministic
+// relaxation; the concrete-distribution sampling of the original only adds
+// gradient noise and is unnecessary at this scale).
+
+#ifndef GEATTACK_SRC_EXPLAIN_PG_EXPLAINER_H_
+#define GEATTACK_SRC_EXPLAIN_PG_EXPLAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/explain/explanation.h"
+#include "src/nn/gcn.h"
+#include "src/tensor/random.h"
+
+namespace geattack {
+
+/// PGExplainer hyperparameters.
+struct PgExplainerConfig {
+  int64_t epochs = 40;
+  double lr = 0.02;
+  int64_t mlp_hidden = 32;
+  /// Per-edge-normalized mask-size penalty.
+  double size_coeff = 0.05;
+  /// Per-edge-normalized mask entropy penalty.
+  double entropy_coeff = 0.1;
+  int hops = 2;
+  uint64_t seed = 0;
+  /// When true (default), Explain() ranks the computation-subgraph edges —
+  /// PGExplainer's usage for node classification.  Set false to rank every
+  /// graph edge (the MLP scores any edge given the target's embedding).
+  bool restrict_to_subgraph = true;
+};
+
+/// MLP parameters of the explainer (exposed so GEAttack-PG can differentiate
+/// through the explainer's training updates).
+struct PgParams {
+  Tensor w1;  // (3h, mlp_hidden)
+  Tensor b1;  // (1, mlp_hidden)
+  Tensor w2;  // (mlp_hidden, 1)
+};
+
+/// Edges of `node`'s `hops`-hop computation subgraph as symmetric index
+/// pairs — the edge set PGExplainer scores for one instance.
+std::vector<IndexPair> ComputationSubgraphPairs(const Graph& graph,
+                                                int64_t node, int hops);
+
+/// Pre-sigmoid edge weights ω for `pairs` when explaining `target`, as an
+/// autodiff expression:  ω = ReLU(E W₁ + b₁) W₂ with E row e equal to
+/// [hidden_u ; hidden_v ; hidden_target].  `hidden` may depend on a relaxed
+/// adjacency Var, and the parameters may be leaves or graph nodes — this is
+/// the building block both for explainer training and for the joint attack.
+Var PgEdgeLogits(const Var& hidden, const std::vector<IndexPair>& pairs,
+                 int64_t target, const Var& w1, const Var& b1, const Var& w2);
+
+/// The trained, inductive explainer.
+class PgExplainer : public Explainer {
+ public:
+  /// `model` and `features` must outlive the explainer.
+  PgExplainer(const Gcn* model, const Tensor* features,
+              const PgExplainerConfig& config);
+
+  /// Trains ψ on `instances` (nodes whose predictions should be preserved)
+  /// over the clean graph `adjacency`.  `labels[v]` is the model prediction
+  /// to preserve for instance v.
+  void Train(const Tensor& adjacency, const std::vector<int64_t>& instances,
+             const std::vector<int64_t>& labels);
+
+  /// Ranks the computation-subgraph edges of `node` by σ(ω).  Inductive: no
+  /// per-query optimization, so this works directly on perturbed graphs.
+  Explanation Explain(const Tensor& adjacency, int64_t node,
+                      int64_t label) const override;
+
+  const PgParams& params() const { return params_; }
+  const PgExplainerConfig& config() const { return config_; }
+  bool trained() const { return trained_; }
+
+ private:
+  const Gcn* model_;
+  const Tensor* features_;
+  PgExplainerConfig config_;
+  PgParams params_;
+  bool trained_ = false;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_EXPLAIN_PG_EXPLAINER_H_

@@ -1,0 +1,51 @@
+// Dataset presets mirroring the paper's benchmarks (Table 3).
+//
+// Each preset configures the synthetic citation-graph generator
+// (src/graph/generators.h) to match the published largest-connected-
+// component statistics of CITESEER, CORA and ACM.  A `scale` in (0,1]
+// shrinks node/edge/feature counts proportionally for fast benchmarks; the
+// class counts and structural ratios (edge density, homophily) are
+// preserved so that relative results carry over.
+
+#ifndef GEATTACK_SRC_GRAPH_DATASETS_H_
+#define GEATTACK_SRC_GRAPH_DATASETS_H_
+
+#include <string>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/tensor/random.h"
+
+namespace geattack {
+
+/// The paper's three benchmark datasets.
+enum class DatasetId { kCiteseer, kCora, kAcm };
+
+/// Display name, e.g. "CITESEER".
+std::string DatasetName(DatasetId id);
+
+/// Published LCC statistics (Table 3) used to calibrate generator presets.
+struct DatasetStats {
+  int64_t nodes;
+  int64_t edges;
+  int64_t classes;
+  int64_t features;
+};
+
+/// Paper-reported statistics for `id`.
+DatasetStats PaperStats(DatasetId id);
+
+/// Generator configuration matched to `id`, shrunk by `scale` in (0,1].
+CitationGraphConfig PresetConfig(DatasetId id, double scale);
+
+/// Generates the synthetic stand-in for `id` at `scale`, keeping the
+/// largest connected component (the paper's preprocessing).
+GraphData MakeDataset(DatasetId id, double scale, Rng* rng);
+
+/// Reads the bench scale from the GEATTACK_BENCH_SCALE environment variable
+/// (default `fallback`; clamped to (0, 1]).
+double BenchScaleFromEnv(double fallback);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_GRAPH_DATASETS_H_

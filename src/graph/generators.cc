@@ -1,0 +1,164 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace geattack {
+
+namespace {
+
+/// Pareto-distributed degree propensity with the given shape; bounded to
+/// avoid a single node absorbing the whole edge budget.
+double DegreePropensity(double shape, Rng* rng) {
+  const double u = rng->Uniform(1e-9, 1.0);
+  const double p = std::pow(u, -1.0 / shape);
+  return std::min(p, 30.0);
+}
+
+}  // namespace
+
+GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
+  GEA_CHECK(rng != nullptr);
+  GEA_CHECK(config.num_nodes > config.num_classes);
+  GEA_CHECK(config.num_classes >= 2);
+  GEA_CHECK(config.feature_dim >= config.num_classes * 2);
+  const int64_t n = config.num_nodes;
+  const int64_t c = config.num_classes;
+
+  // Balanced label assignment, then shuffled so labels are not contiguous.
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) labels[i] = i % c;
+  rng->Shuffle(&labels);
+
+  // Degree-corrected propensities, bucketed per class for weighted sampling.
+  std::vector<double> propensity(static_cast<size_t>(n));
+  for (auto& p : propensity) p = DegreePropensity(config.degree_exponent, rng);
+  std::vector<std::vector<int64_t>> nodes_of_class(static_cast<size_t>(c));
+  for (int64_t i = 0; i < n; ++i) nodes_of_class[labels[i]].push_back(i);
+  std::vector<std::vector<double>> weight_of_class(static_cast<size_t>(c));
+  for (int64_t k = 0; k < c; ++k)
+    for (int64_t i : nodes_of_class[k]) weight_of_class[k].push_back(propensity[i]);
+
+  Graph graph(n);
+  // Sample edges: pick endpoint u by propensity; pick v same-class with
+  // probability `homophily`, otherwise from a different class.  Retry on
+  // duplicates; bail out of pathological configs via an attempt cap.
+  int64_t attempts = 0;
+  const int64_t max_attempts = config.num_edges * 50;
+  while (graph.num_edges() < config.num_edges && attempts < max_attempts) {
+    ++attempts;
+    const int64_t u = rng->SampleWeighted(propensity);
+    int64_t target_class;
+    if (rng->Bernoulli(config.homophily)) {
+      target_class = labels[u];
+    } else {
+      target_class = rng->UniformInt(0, c - 1);
+      if (target_class == labels[u]) target_class = (target_class + 1) % c;
+    }
+    const auto& bucket = nodes_of_class[target_class];
+    const int64_t v = bucket[rng->SampleWeighted(weight_of_class[target_class])];
+    if (u == v) continue;
+    graph.AddEdge(u, v);
+  }
+  // Ensure no isolated nodes: attach each to a random same-class peer, so
+  // the LCC keeps most of the graph (as on the real datasets).
+  for (int64_t i = 0; i < n; ++i) {
+    if (graph.Degree(i) > 0) continue;
+    const auto& bucket = nodes_of_class[labels[i]];
+    for (int tries = 0; tries < 20; ++tries) {
+      const int64_t v = bucket[rng->UniformInt(
+          0, static_cast<int64_t>(bucket.size()) - 1)];
+      if (v != i && graph.AddEdge(i, v)) break;
+    }
+  }
+
+  // Class-conditional bag-of-words features: each class owns a block of
+  // topic words; nodes switch topic words on with high probability and
+  // background words with low probability.
+  const int64_t d = config.feature_dim;
+  const int64_t words = std::min(config.words_per_class, d / c);
+  Tensor features(n, d);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t base = labels[i] * words;
+    for (int64_t j = 0; j < d; ++j) {
+      const bool topic = j >= base && j < base + words;
+      const double p = topic ? config.topic_on_prob : config.background_on_prob;
+      if (rng->Bernoulli(p)) features.at(i, j) = 1.0;
+    }
+  }
+
+  GraphData data;
+  data.graph = std::move(graph);
+  data.features = std::move(features);
+  data.labels = std::move(labels);
+  data.num_classes = c;
+  return data;
+}
+
+GraphData KeepLargestConnectedComponent(const GraphData& data) {
+  std::vector<int64_t> mapping;
+  Graph lcc = data.graph.LargestConnectedComponent(&mapping);
+  const int64_t m = lcc.num_nodes();
+  Tensor features(m, data.features.cols());
+  std::vector<int64_t> labels(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t old = mapping[i];
+    labels[i] = data.labels[old];
+    for (int64_t j = 0; j < data.features.cols(); ++j)
+      features.at(i, j) = data.features.at(old, j);
+  }
+  GraphData out;
+  out.graph = std::move(lcc);
+  out.features = std::move(features);
+  out.labels = std::move(labels);
+  out.num_classes = data.num_classes;
+  return out;
+}
+
+Graph GenerateErdosRenyi(int64_t num_nodes, double edge_prob, Rng* rng) {
+  GEA_CHECK(rng != nullptr);
+  Graph g(num_nodes);
+  for (int64_t i = 0; i < num_nodes; ++i)
+    for (int64_t j = i + 1; j < num_nodes; ++j)
+      if (rng->Bernoulli(edge_prob)) g.AddEdge(i, j);
+  return g;
+}
+
+Split MakeSplit(const GraphData& data, double train_frac, double val_frac,
+                Rng* rng) {
+  GEA_CHECK(rng != nullptr);
+  GEA_CHECK(train_frac > 0 && val_frac >= 0 && train_frac + val_frac < 1.0);
+  Split split;
+  // Stratified: split each class's nodes independently so small classes are
+  // represented in training even at 10%.
+  std::vector<std::vector<int64_t>> by_class(
+      static_cast<size_t>(data.num_classes));
+  for (int64_t i = 0; i < data.num_nodes(); ++i)
+    by_class[data.labels[i]].push_back(i);
+  for (auto& bucket : by_class) {
+    rng->Shuffle(&bucket);
+    const auto sz = static_cast<int64_t>(bucket.size());
+    int64_t n_train = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(train_frac * sz)));
+    int64_t n_val = static_cast<int64_t>(std::llround(val_frac * sz));
+    n_train = std::min(n_train, sz);
+    n_val = std::min(n_val, sz - n_train);
+    for (int64_t i = 0; i < sz; ++i) {
+      if (i < n_train) {
+        split.train.push_back(bucket[i]);
+      } else if (i < n_train + n_val) {
+        split.val.push_back(bucket[i]);
+      } else {
+        split.test.push_back(bucket[i]);
+      }
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace geattack

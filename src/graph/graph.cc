@@ -1,0 +1,189 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace geattack {
+
+Graph::Graph(int64_t num_nodes) : adj_(static_cast<size_t>(num_nodes)) {
+  GEA_CHECK(num_nodes >= 0);
+}
+
+Graph Graph::FromDense(const Tensor& adjacency) {
+  GEA_CHECK(adjacency.rows() == adjacency.cols());
+  Graph g(adjacency.rows());
+  for (int64_t i = 0; i < adjacency.rows(); ++i) {
+    for (int64_t j = i + 1; j < adjacency.cols(); ++j) {
+      if (adjacency.at(i, j) > 0.5 || adjacency.at(j, i) > 0.5) {
+        g.AddEdge(i, j);
+      }
+    }
+  }
+  return g;
+}
+
+bool Graph::AddEdge(int64_t u, int64_t v) {
+  GEA_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (u == v) return false;
+  if (adj_[u].count(v)) return false;
+  adj_[u].insert(v);
+  adj_[v].insert(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(int64_t u, int64_t v) {
+  GEA_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (!adj_[u].count(v)) return false;
+  adj_[u].erase(v);
+  adj_[v].erase(u);
+  --num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(int64_t u, int64_t v) const {
+  GEA_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  return adj_[u].count(v) > 0;
+}
+
+int64_t Graph::Degree(int64_t u) const {
+  GEA_CHECK(u >= 0 && u < num_nodes());
+  return static_cast<int64_t>(adj_[u].size());
+}
+
+const std::set<int64_t>& Graph::Neighbors(int64_t u) const {
+  GEA_CHECK(u >= 0 && u < num_nodes());
+  return adj_[u];
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (int64_t u = 0; u < num_nodes(); ++u)
+    for (int64_t v : adj_[u])
+      if (u < v) edges.emplace_back(u, v);
+  return edges;
+}
+
+Tensor Graph::DenseAdjacency() const {
+  Tensor a(num_nodes(), num_nodes());
+  for (int64_t u = 0; u < num_nodes(); ++u)
+    for (int64_t v : adj_[u]) a.at(u, v) = 1.0;
+  return a;
+}
+
+std::vector<int64_t> Graph::KHopNeighborhood(int64_t center, int hops) const {
+  GEA_CHECK(center >= 0 && center < num_nodes());
+  std::vector<int64_t> dist(static_cast<size_t>(num_nodes()), -1);
+  std::queue<int64_t> q;
+  dist[center] = 0;
+  q.push(center);
+  std::vector<int64_t> result{center};
+  while (!q.empty()) {
+    int64_t u = q.front();
+    q.pop();
+    if (dist[u] >= hops) continue;
+    for (int64_t v : adj_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        result.push_back(v);
+        q.push(v);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int64_t> Graph::ConnectedComponents() const {
+  std::vector<int64_t> comp(static_cast<size_t>(num_nodes()), -1);
+  int64_t next = 0;
+  for (int64_t s = 0; s < num_nodes(); ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = next;
+    std::queue<int64_t> q;
+    q.push(s);
+    while (!q.empty()) {
+      int64_t u = q.front();
+      q.pop();
+      for (int64_t v : adj_[u]) {
+        if (comp[v] < 0) {
+          comp[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+Graph Graph::LargestConnectedComponent(std::vector<int64_t>* mapping) const {
+  std::vector<int64_t> comp = ConnectedComponents();
+  std::unordered_map<int64_t, int64_t> sizes;
+  for (int64_t c : comp) ++sizes[c];
+  int64_t best = 0;
+  int64_t best_size = -1;
+  for (const auto& [c, s] : sizes) {
+    if (s > best_size || (s == best_size && c < best)) {
+      best = c;
+      best_size = s;
+    }
+  }
+  std::vector<int64_t> old_ids;
+  std::vector<int64_t> new_id(static_cast<size_t>(num_nodes()), -1);
+  for (int64_t u = 0; u < num_nodes(); ++u) {
+    if (comp[u] == best) {
+      new_id[u] = static_cast<int64_t>(old_ids.size());
+      old_ids.push_back(u);
+    }
+  }
+  Graph g(static_cast<int64_t>(old_ids.size()));
+  for (int64_t u = 0; u < num_nodes(); ++u) {
+    if (new_id[u] < 0) continue;
+    for (int64_t v : adj_[u])
+      if (u < v && new_id[v] >= 0) g.AddEdge(new_id[u], new_id[v]);
+  }
+  if (mapping != nullptr) *mapping = std::move(old_ids);
+  return g;
+}
+
+bool Graph::CheckInvariants() const {
+  int64_t half_edges = 0;
+  for (int64_t u = 0; u < num_nodes(); ++u) {
+    if (adj_[u].count(u)) return false;  // No self loops.
+    for (int64_t v : adj_[u]) {
+      if (v < 0 || v >= num_nodes()) return false;
+      if (!adj_[v].count(u)) return false;  // Symmetry.
+      ++half_edges;
+    }
+  }
+  return half_edges == 2 * num_edges_;
+}
+
+Tensor NormalizeAdjacency(const Tensor& adjacency) {
+  GEA_CHECK(adjacency.rows() == adjacency.cols());
+  const int64_t n = adjacency.rows();
+  Tensor self = adjacency;
+  for (int64_t i = 0; i < n; ++i) self.at(i, i) += 1.0;
+  Tensor deg = self.RowSum();
+  Tensor dinv = deg.Pow(-0.5);
+  Tensor out(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      out.at(i, j) = dinv.at(i, 0) * self.at(i, j) * dinv.at(j, 0);
+  return out;
+}
+
+Var NormalizeAdjacencyVar(const Var& adjacency) {
+  GEA_CHECK(adjacency.defined());
+  GEA_CHECK(adjacency.rows() == adjacency.cols());
+  Var self =
+      Add(adjacency, Constant(Tensor::Identity(adjacency.rows()), "I"));
+  Var deg = RowSum(self);         // (n,1); >= 1 thanks to the self loop.
+  Var dinv = Pow(deg, -0.5);      // (n,1).
+  return Mul(Mul(self, dinv), Transpose(dinv));
+}
+
+}  // namespace geattack

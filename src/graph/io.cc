@@ -1,0 +1,118 @@
+#include "src/graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace geattack {
+
+namespace {
+constexpr char kDataMagic[] = "geadata v1";
+constexpr char kGcnMagic[] = "geagcn v1";
+}  // namespace
+
+bool SaveGraphData(const GraphData& data, std::ostream& os) {
+  os << kDataMagic << "\n";
+  os << data.num_nodes() << " " << data.graph.num_edges() << " "
+     << data.num_classes << " " << data.feature_dim() << "\n";
+  os << "labels";
+  for (int64_t y : data.labels) os << " " << y;
+  os << "\n";
+  for (const Edge& e : data.graph.Edges()) os << "e " << e.u << " " << e.v
+                                              << "\n";
+  // Sparse feature non-zeros: "f node index value".
+  for (int64_t i = 0; i < data.num_nodes(); ++i)
+    for (int64_t j = 0; j < data.feature_dim(); ++j)
+      if (data.features.at(i, j) != 0.0)
+        os << "f " << i << " " << j << " " << data.features.at(i, j) << "\n";
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+bool LoadGraphData(std::istream& is, GraphData* data) {
+  GEA_CHECK(data != nullptr);
+  std::string magic;
+  if (!std::getline(is, magic) || magic != kDataMagic) return false;
+  int64_t n = 0, m = 0, c = 0, d = 0;
+  if (!(is >> n >> m >> c >> d) || n < 0 || m < 0 || c <= 0 || d <= 0)
+    return false;
+  data->graph = Graph(n);
+  data->features = Tensor(n, d);
+  data->labels.assign(static_cast<size_t>(n), 0);
+  data->num_classes = c;
+
+  std::string tag;
+  if (!(is >> tag) || tag != "labels") return false;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!(is >> data->labels[i])) return false;
+    if (data->labels[i] < 0 || data->labels[i] >= c) return false;
+  }
+  while (is >> tag) {
+    if (tag == "end") break;
+    if (tag == "e") {
+      int64_t u = 0, v = 0;
+      if (!(is >> u >> v)) return false;
+      if (u < 0 || u >= n || v < 0 || v >= n) return false;
+      data->graph.AddEdge(u, v);
+    } else if (tag == "f") {
+      int64_t i = 0, j = 0;
+      double value = 0;
+      if (!(is >> i >> j >> value)) return false;
+      if (i < 0 || i >= n || j < 0 || j >= d) return false;
+      data->features.at(i, j) = value;
+    } else {
+      return false;
+    }
+  }
+  return tag == "end" && data->graph.num_edges() == m;
+}
+
+bool SaveGraphDataToFile(const GraphData& data, const std::string& path) {
+  std::ofstream os(path);
+  return os && SaveGraphData(data, os);
+}
+
+bool LoadGraphDataFromFile(const std::string& path, GraphData* data) {
+  std::ifstream is(path);
+  return is && LoadGraphData(is, data);
+}
+
+bool SaveGcn(const Gcn& model, std::ostream& os) {
+  const GcnConfig& cfg = model.config();
+  os << kGcnMagic << "\n";
+  os << cfg.in_dim << " " << cfg.hidden_dim << " " << cfg.num_classes << "\n";
+  os.precision(17);
+  for (int64_t i = 0; i < model.w1().size(); ++i) os << model.w1()[i] << "\n";
+  for (int64_t i = 0; i < model.w2().size(); ++i) os << model.w2()[i] << "\n";
+  return static_cast<bool>(os);
+}
+
+bool LoadGcn(std::istream& is, Gcn* model) {
+  GEA_CHECK(model != nullptr);
+  std::string magic;
+  if (!std::getline(is, magic) || magic != kGcnMagic) return false;
+  int64_t in = 0, hidden = 0, classes = 0;
+  if (!(is >> in >> hidden >> classes)) return false;
+  const GcnConfig& cfg = model->config();
+  if (in != cfg.in_dim || hidden != cfg.hidden_dim ||
+      classes != cfg.num_classes)
+    return false;
+  for (int64_t i = 0; i < model->mutable_w1().size(); ++i)
+    if (!(is >> model->mutable_w1()[i])) return false;
+  for (int64_t i = 0; i < model->mutable_w2().size(); ++i)
+    if (!(is >> model->mutable_w2()[i])) return false;
+  return true;
+}
+
+bool SaveGcnToFile(const Gcn& model, const std::string& path) {
+  std::ofstream os(path);
+  return os && SaveGcn(model, os);
+}
+
+bool LoadGcnFromFile(const std::string& path, Gcn* model) {
+  std::ifstream is(path);
+  return is && LoadGcn(is, model);
+}
+
+}  // namespace geattack

@@ -1,0 +1,43 @@
+// Plain-text serialization for graphs, datasets and model weights.
+//
+// Formats are deliberately simple line-oriented text so experiment
+// artifacts (generated datasets, trained victims, attacked graphs) can be
+// saved, diffed and re-loaded across runs without any binary dependency.
+//
+//   GraphData ("geadata v1"): header line, then labels, edge list, and the
+//   sparse non-zeros of the feature matrix.
+//   Gcn weights ("geagcn v1"): dims header then row-major weight values.
+
+#ifndef GEATTACK_SRC_GRAPH_IO_H_
+#define GEATTACK_SRC_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/nn/gcn.h"
+
+namespace geattack {
+
+/// Writes `data` to `os`.  Returns false on stream failure.
+bool SaveGraphData(const GraphData& data, std::ostream& os);
+/// Reads a GraphData written by SaveGraphData.  Returns false on parse or
+/// stream failure; `*data` is unspecified on failure.
+bool LoadGraphData(std::istream& is, GraphData* data);
+
+/// File-path convenience wrappers.
+bool SaveGraphDataToFile(const GraphData& data, const std::string& path);
+bool LoadGraphDataFromFile(const std::string& path, GraphData* data);
+
+/// Writes the trained weights (architecture dims + W1, W2).
+bool SaveGcn(const Gcn& model, std::ostream& os);
+/// Reads weights written by SaveGcn into a freshly constructed model.
+/// Returns false on parse failure or architecture mismatch markers.
+bool LoadGcn(std::istream& is, Gcn* model);
+
+bool SaveGcnToFile(const Gcn& model, const std::string& path);
+bool LoadGcnFromFile(const std::string& path, Gcn* model);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_GRAPH_IO_H_

@@ -1,0 +1,36 @@
+#include "src/nn/adam.h"
+
+#include <cmath>
+
+namespace geattack {
+
+int64_t Adam::Register(Tensor* param) {
+  GEA_CHECK(param != nullptr);
+  params_.push_back(param);
+  m_.emplace_back(param->rows(), param->cols());
+  v_.emplace_back(param->rows(), param->cols());
+  return static_cast<int64_t>(params_.size()) - 1;
+}
+
+void Adam::Step(const std::vector<Tensor>& grads) {
+  GEA_CHECK(grads.size() == params_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Tensor& param = *params_[p];
+    GEA_CHECK(param.same_shape(grads[p]));
+    Tensor& m = m_[p];
+    Tensor& v = v_[p];
+    for (int64_t i = 0; i < param.size(); ++i) {
+      double g = grads[p][i] + config_.weight_decay * param[i];
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      param[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace geattack

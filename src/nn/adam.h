@@ -1,0 +1,46 @@
+// Adam optimizer over a set of Tensor parameters.
+
+#ifndef GEATTACK_SRC_NN_ADAM_H_
+#define GEATTACK_SRC_NN_ADAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace geattack {
+
+/// Adam hyperparameters (PyTorch defaults).
+struct AdamConfig {
+  double lr = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  ///< L2 added to the gradient (decoupled = no).
+};
+
+/// Adam over externally owned parameters.  Parameters are registered once;
+/// Step() applies one update given the matching gradient list.
+class Adam {
+ public:
+  explicit Adam(const AdamConfig& config) : config_(config) {}
+
+  /// Registers a parameter; returns its slot index.
+  int64_t Register(Tensor* param);
+
+  /// One Adam step: grads[i] applies to the i-th registered parameter.
+  void Step(const std::vector<Tensor>& grads);
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Tensor*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_NN_ADAM_H_

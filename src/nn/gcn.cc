@@ -1,0 +1,92 @@
+#include "src/nn/gcn.h"
+
+#include <cmath>
+
+namespace geattack {
+
+Gcn::Gcn(const GcnConfig& config, Rng* rng) : config_(config) {
+  GEA_CHECK(rng != nullptr);
+  GEA_CHECK(config.in_dim > 0 && config.hidden_dim > 0 &&
+            config.num_classes > 0);
+  w1_ = rng->GlorotTensor(config.in_dim, config.hidden_dim);
+  w2_ = rng->GlorotTensor(config.hidden_dim, config.num_classes);
+}
+
+Tensor Gcn::Logits(const Tensor& norm_adj, const Tensor& features) const {
+  Tensor h = norm_adj.MatMul(features.MatMul(w1_)).Relu();
+  return norm_adj.MatMul(h.MatMul(w2_));
+}
+
+Tensor Gcn::LogitsFromRaw(const Tensor& adjacency,
+                          const Tensor& features) const {
+  return Logits(NormalizeAdjacency(adjacency), features);
+}
+
+Tensor Gcn::Hidden(const Tensor& norm_adj, const Tensor& features) const {
+  return norm_adj.MatMul(features.MatMul(w1_)).Relu();
+}
+
+GcnForwardContext MakeForwardContext(const Gcn& model,
+                                     const Tensor& features) {
+  GcnForwardContext ctx;
+  ctx.xw1 = Constant(features.MatMul(model.w1()), "xw1");
+  ctx.w2 = Constant(model.w2(), "w2");
+  return ctx;
+}
+
+Var GcnLogitsVar(const GcnForwardContext& ctx, const Var& raw_adjacency) {
+  Var norm = NormalizeAdjacencyVar(raw_adjacency);
+  Var h = Relu(MatMul(norm, ctx.xw1));
+  return MatMul(norm, MatMul(h, ctx.w2));
+}
+
+Var CrossEntropyRows(const Var& logits, const std::vector<int64_t>& nodes,
+                     const std::vector<int64_t>& labels) {
+  GEA_CHECK(!nodes.empty());
+  Tensor scatter(logits.rows(), logits.cols());
+  const double w = 1.0 / static_cast<double>(nodes.size());
+  for (int64_t node : nodes) {
+    GEA_CHECK(node >= 0 && node < logits.rows());
+    const int64_t y = labels[node];
+    GEA_CHECK(y >= 0 && y < logits.cols());
+    scatter.at(node, y) += w;
+  }
+  return Neg(Sum(Mul(LogSoftmaxRows(logits), Constant(scatter, "ce_mask"))));
+}
+
+std::vector<int64_t> PredictLabels(const Tensor& logits) {
+  std::vector<int64_t> pred(static_cast<size_t>(logits.rows()));
+  for (int64_t i = 0; i < logits.rows(); ++i) pred[i] = logits.ArgMaxRow(i);
+  return pred;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& nodes) {
+  if (nodes.empty()) return 0.0;
+  int64_t correct = 0;
+  for (int64_t node : nodes)
+    if (logits.ArgMaxRow(node) == labels[node]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+double ClassificationMargin(const Tensor& logits, int64_t node,
+                            int64_t label) {
+  GEA_CHECK(node >= 0 && node < logits.rows());
+  GEA_CHECK(label >= 0 && label < logits.cols());
+  // Softmax of the node's row.
+  double maxv = logits.at(node, 0);
+  for (int64_t c = 1; c < logits.cols(); ++c)
+    maxv = std::max(maxv, logits.at(node, c));
+  double denom = 0.0;
+  for (int64_t c = 0; c < logits.cols(); ++c)
+    denom += std::exp(logits.at(node, c) - maxv);
+  auto prob = [&](int64_t c) {
+    return std::exp(logits.at(node, c) - maxv) / denom;
+  };
+  double best_other = 0.0;
+  for (int64_t c = 0; c < logits.cols(); ++c)
+    if (c != label) best_other = std::max(best_other, prob(c));
+  return prob(label) - best_other;
+}
+
+}  // namespace geattack

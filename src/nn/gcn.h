@@ -1,0 +1,96 @@
+// Two-layer graph convolutional network (Kipf & Welling), the victim model
+// of the paper:  f_θ(A, X) = softmax( Ã σ( Ã X W₁ ) W₂ ),  Ã the normalized
+// adjacency (Eq. 1).
+//
+// Two forward paths are provided:
+//   * a plain-Tensor path for inference/training-time evaluation, and
+//   * a differentiable path (GcnForwardContext / GcnLogitsVar) used by the
+//     attacks and explainers, where gradients flow into the (raw or masked)
+//     adjacency.  The context caches X·W₁ as a constant — X and the trained
+//     weights never change at attack time — so each forward costs O(n²·h)
+//     instead of O(n·d·h), which is what makes the integrated-gradients and
+//     bilevel GEAttack loops affordable.
+
+#ifndef GEATTACK_SRC_NN_GCN_H_
+#define GEATTACK_SRC_NN_GCN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/tensor/autodiff.h"
+#include "src/tensor/random.h"
+#include "src/tensor/tensor.h"
+
+namespace geattack {
+
+/// Architecture of the two-layer GCN.
+struct GcnConfig {
+  int64_t in_dim = 0;
+  int64_t hidden_dim = 16;
+  int64_t num_classes = 0;
+};
+
+/// The victim GCN.  Weights are plain Tensors; the trainer mutates them via
+/// the accessors.
+class Gcn {
+ public:
+  /// Glorot-initialized model.
+  Gcn(const GcnConfig& config, Rng* rng);
+
+  const GcnConfig& config() const { return config_; }
+  const Tensor& w1() const { return w1_; }
+  const Tensor& w2() const { return w2_; }
+  Tensor& mutable_w1() { return w1_; }
+  Tensor& mutable_w2() { return w2_; }
+
+  /// Logits (pre-softmax) given an already-normalized adjacency.
+  Tensor Logits(const Tensor& norm_adj, const Tensor& features) const;
+
+  /// Logits given a raw 0/1 adjacency (normalizes internally).
+  Tensor LogitsFromRaw(const Tensor& adjacency, const Tensor& features) const;
+
+  /// Post-ReLU first-layer representations (used by PGExplainer's edge
+  /// embedder).
+  Tensor Hidden(const Tensor& norm_adj, const Tensor& features) const;
+
+ private:
+  GcnConfig config_;
+  Tensor w1_;
+  Tensor w2_;
+};
+
+/// Attack/explainer-time forward state: the trained weights folded into
+/// constants, with X·W₁ precomputed.
+struct GcnForwardContext {
+  Var xw1;  ///< X·W₁ as a (n, hidden) constant.
+  Var w2;   ///< W₂ as a constant.
+};
+
+/// Builds the cached context for `model` on `features`.
+GcnForwardContext MakeForwardContext(const Gcn& model, const Tensor& features);
+
+/// Differentiable logits from a *raw* (unnormalized, possibly relaxed or
+/// masked) adjacency Var: normalizes on-graph, then applies the cached
+/// weights.  Gradients flow into `raw_adjacency`.
+Var GcnLogitsVar(const GcnForwardContext& ctx, const Var& raw_adjacency);
+
+/// Mean cross-entropy of `logits` rows `nodes` against `labels[node]`,
+/// as a single graph op (one constant scatter matrix) — Eq. (1)'s loss.
+Var CrossEntropyRows(const Var& logits, const std::vector<int64_t>& nodes,
+                     const std::vector<int64_t>& labels);
+
+/// Argmax prediction per node.
+std::vector<int64_t> PredictLabels(const Tensor& logits);
+
+/// Fraction of `nodes` whose argmax prediction equals `labels[node]`.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& nodes);
+
+/// Classification margin of `node`: softmax probability of `label` minus the
+/// best other class.  Positive = correctly classified with that much slack.
+double ClassificationMargin(const Tensor& logits, int64_t node, int64_t label);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_NN_GCN_H_

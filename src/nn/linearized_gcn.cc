@@ -1,0 +1,86 @@
+#include "src/nn/linearized_gcn.h"
+
+#include <cmath>
+
+namespace geattack {
+
+LinearizedGcn::LinearizedGcn(const Gcn& model, const Tensor& features) {
+  xw_ = features.MatMul(model.w1()).MatMul(model.w2());
+}
+
+Tensor LinearizedGcn::LogitsRow(const Tensor& adjacency, int64_t node) const {
+  const Tensor norm = NormalizeAdjacency(adjacency);
+  // [Ã²]_node,: = Ã_node,: · Ã ; then · XW.
+  Tensor row = norm.Row(node).MatMul(norm);
+  return row.MatMul(xw_);
+}
+
+Tensor LinearizedGcn::Logits(const Tensor& adjacency) const {
+  const Tensor norm = NormalizeAdjacency(adjacency);
+  return norm.MatMul(norm.MatMul(xw_));
+}
+
+namespace {
+
+std::vector<int64_t> AllDegrees(const Graph& g) {
+  std::vector<int64_t> d(static_cast<size_t>(g.num_nodes()));
+  for (int64_t i = 0; i < g.num_nodes(); ++i) d[i] = g.Degree(i);
+  return d;
+}
+
+}  // namespace
+
+DegreeDistributionTest::DegreeDistributionTest(const Graph& graph,
+                                               int64_t d_min,
+                                               double threshold)
+    : d_min_(d_min), threshold_(threshold), clean_degrees_(AllDegrees(graph)) {
+  clean_ll_ = LogLikelihoodAlpha(clean_degrees_, &clean_alpha_);
+}
+
+double DegreeDistributionTest::LogLikelihoodAlpha(
+    const std::vector<int64_t>& degrees, double* alpha_out) const {
+  // Power-law MLE over degrees >= d_min (Nettack, following Clauset et al.).
+  int64_t n = 0;
+  double sum_log = 0.0;
+  for (int64_t d : degrees) {
+    if (d >= d_min_) {
+      ++n;
+      sum_log += std::log(static_cast<double>(d));
+    }
+  }
+  if (n == 0) {
+    if (alpha_out != nullptr) *alpha_out = 0.0;
+    return 0.0;
+  }
+  const double nd = static_cast<double>(n);
+  const double alpha =
+      nd / (sum_log - nd * std::log(static_cast<double>(d_min_) - 0.5)) + 1.0;
+  const double ll = nd * std::log(alpha) +
+                    nd * alpha * std::log(static_cast<double>(d_min_)) -
+                    (alpha + 1.0) * sum_log;
+  if (alpha_out != nullptr) *alpha_out = alpha;
+  return ll;
+}
+
+bool DegreeDistributionTest::EdgeAdditionUnnoticeable(const Graph& current,
+                                                      int64_t u,
+                                                      int64_t v) const {
+  std::vector<int64_t> degrees = AllDegrees(current);
+  GEA_CHECK(u >= 0 && u < static_cast<int64_t>(degrees.size()));
+  GEA_CHECK(v >= 0 && v < static_cast<int64_t>(degrees.size()));
+  degrees[u] += 1;
+  degrees[v] += 1;
+  double alpha_new = 0.0;
+  const double ll_new = LogLikelihoodAlpha(degrees, &alpha_new);
+
+  // Combined-sample likelihood: clean + perturbed sequences fit together.
+  std::vector<int64_t> combined = clean_degrees_;
+  combined.insert(combined.end(), degrees.begin(), degrees.end());
+  double alpha_comb = 0.0;
+  const double ll_comb = LogLikelihoodAlpha(combined, &alpha_comb);
+
+  const double ratio = -2.0 * ll_comb + 2.0 * (clean_ll_ + ll_new);
+  return ratio < threshold_;
+}
+
+}  // namespace geattack

@@ -1,0 +1,70 @@
+// Linearized two-layer GCN surrogate used by Nettack.
+//
+// Nettack (Zügner et al., KDD'18) scores perturbations on a surrogate in
+// which the nonlinearity is dropped:  Z = Ã² X W  with W = W₁W₂.  Logit
+// differences on Z are cheap to evaluate for candidate edge flips, which is
+// what makes Nettack's greedy search tractable.
+
+#ifndef GEATTACK_SRC_NN_LINEARIZED_GCN_H_
+#define GEATTACK_SRC_NN_LINEARIZED_GCN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/nn/gcn.h"
+#include "src/tensor/tensor.h"
+
+namespace geattack {
+
+/// The linearized surrogate.  Holds XW (features times collapsed weight) so
+/// per-candidate scoring only touches adjacency rows.
+class LinearizedGcn {
+ public:
+  /// Collapses the trained GCN: W = W₁·W₂.
+  LinearizedGcn(const Gcn& model, const Tensor& features);
+
+  /// Surrogate logits row for `node` under raw adjacency `adjacency`:
+  /// [Ã²]_node,: · XW.  O(n²) per call.
+  Tensor LogitsRow(const Tensor& adjacency, int64_t node) const;
+
+  /// Full surrogate logits, O(n²·c).
+  Tensor Logits(const Tensor& adjacency) const;
+
+  int64_t num_classes() const { return xw_.cols(); }
+
+ private:
+  Tensor xw_;  // n x c.
+};
+
+/// Degree-distribution preservation test from the Nettack paper:
+/// adding/removing edges must keep the power-law likelihood-ratio statistic
+/// of the degree sequence below a χ²(1) threshold.  `DegreeTest` answers
+/// whether flipping (u,v) on `graph` is unnoticeable.
+class DegreeDistributionTest {
+ public:
+  /// Captures the clean graph's degree sequence.  `d_min` is the minimum
+  /// degree included in the power-law fit (Nettack uses 2);
+  /// `significance` is the χ² cutoff (Nettack uses 0.004 ≈ p<0.95 band).
+  explicit DegreeDistributionTest(const Graph& graph, int64_t d_min = 2,
+                                  double threshold = 0.004);
+
+  /// True if adding edge (u,v) to the *current* degree sequence keeps the
+  /// combined log-likelihood-ratio statistic below the threshold.
+  bool EdgeAdditionUnnoticeable(const Graph& current, int64_t u,
+                                int64_t v) const;
+
+ private:
+  double LogLikelihoodAlpha(const std::vector<int64_t>& degrees,
+                            double* alpha_out) const;
+
+  int64_t d_min_;
+  double threshold_;
+  std::vector<int64_t> clean_degrees_;
+  double clean_ll_;
+  double clean_alpha_;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_NN_LINEARIZED_GCN_H_

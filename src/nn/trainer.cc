@@ -1,0 +1,73 @@
+#include "src/nn/trainer.h"
+
+namespace geattack {
+
+TrainResult TrainGcn(const GraphData& data, const Split& split,
+                     const TrainConfig& config, Gcn* model) {
+  GEA_CHECK(model != nullptr);
+  GEA_CHECK(!split.train.empty());
+  const Tensor norm_adj = NormalizeAdjacency(data.graph.DenseAdjacency());
+  const Var norm_adj_v = Constant(norm_adj, "norm_adj");
+  const Var x = Constant(data.features, "X");
+
+  AdamConfig adam_cfg;
+  adam_cfg.lr = config.lr;
+  adam_cfg.weight_decay = config.weight_decay;
+  Adam adam(adam_cfg);
+  adam.Register(&model->mutable_w1());
+  adam.Register(&model->mutable_w2());
+
+  TrainResult result;
+  Tensor best_w1 = model->w1();
+  Tensor best_w2 = model->w2();
+  double best_val = -1.0;
+  int64_t since_best = 0;
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Var w1 = Var::Leaf(model->w1(), /*requires_grad=*/true, "w1");
+    Var w2 = Var::Leaf(model->w2(), /*requires_grad=*/true, "w2");
+    Var h = Relu(MatMul(norm_adj_v, MatMul(x, w1)));
+    Var logits = MatMul(norm_adj_v, MatMul(h, w2));
+    Var loss = CrossEntropyRows(logits, split.train, data.labels);
+    auto grads = Grad(loss, {w1, w2});
+    adam.Step({grads[0].value(), grads[1].value()});
+    ++result.epochs_run;
+
+    const double val_acc =
+        split.val.empty()
+            ? Accuracy(logits.value(), data.labels, split.train)
+            : Accuracy(logits.value(), data.labels, split.val);
+    if (val_acc > best_val) {
+      best_val = val_acc;
+      best_w1 = model->w1();
+      best_w2 = model->w2();
+      since_best = 0;
+    } else if (config.patience > 0 && ++since_best >= config.patience) {
+      break;
+    }
+  }
+
+  model->mutable_w1() = best_w1;
+  model->mutable_w2() = best_w2;
+  result.final_logits = model->Logits(norm_adj, data.features);
+  result.train_accuracy = Accuracy(result.final_logits, data.labels, split.train);
+  result.val_accuracy = split.val.empty()
+                            ? result.train_accuracy
+                            : Accuracy(result.final_logits, data.labels, split.val);
+  result.test_accuracy = Accuracy(result.final_logits, data.labels, split.test);
+  return result;
+}
+
+Gcn TrainNewGcn(const GraphData& data, const Split& split,
+                const TrainConfig& config, Rng* rng, TrainResult* result) {
+  GcnConfig gcn_cfg;
+  gcn_cfg.in_dim = data.feature_dim();
+  gcn_cfg.hidden_dim = config.hidden_dim;
+  gcn_cfg.num_classes = data.num_classes;
+  Gcn model(gcn_cfg, rng);
+  TrainResult r = TrainGcn(data, split, config, &model);
+  if (result != nullptr) *result = r;
+  return model;
+}
+
+}  // namespace geattack

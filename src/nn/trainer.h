@@ -1,0 +1,48 @@
+// Training loop for the victim GCN.
+
+#ifndef GEATTACK_SRC_NN_TRAINER_H_
+#define GEATTACK_SRC_NN_TRAINER_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+#include "src/nn/adam.h"
+#include "src/nn/gcn.h"
+#include "src/tensor/random.h"
+
+namespace geattack {
+
+/// Training hyperparameters (paper §A.1 / Kipf & Welling defaults).
+struct TrainConfig {
+  int64_t epochs = 200;
+  double lr = 0.01;
+  double weight_decay = 5e-4;
+  int64_t hidden_dim = 16;
+  /// Early stopping patience on validation accuracy; 0 disables.
+  int64_t patience = 50;
+};
+
+/// Result of TrainGcn.
+struct TrainResult {
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  int64_t epochs_run = 0;
+  Tensor final_logits;  ///< Logits on the clean graph at the best epoch.
+};
+
+/// Trains a fresh 2-layer GCN on `data` with `split`, keeping the
+/// best-validation weights.  The returned model is the fixed f_θ that every
+/// attack and explainer in this library operates on (evasion setting: the
+/// model is never retrained after the attack).
+TrainResult TrainGcn(const GraphData& data, const Split& split,
+                     const TrainConfig& config, Gcn* model);
+
+/// Convenience: builds, trains and returns a model in one call.
+Gcn TrainNewGcn(const GraphData& data, const Split& split,
+                const TrainConfig& config, Rng* rng,
+                TrainResult* result = nullptr);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_NN_TRAINER_H_

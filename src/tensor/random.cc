@@ -1,0 +1,50 @@
+#include "src/tensor/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace geattack {
+
+Tensor Rng::UniformTensor(int64_t rows, int64_t cols, double lo, double hi) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = Uniform(lo, hi);
+  return t;
+}
+
+Tensor Rng::NormalTensor(int64_t rows, int64_t cols, double mean,
+                         double stddev) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = Normal(mean, stddev);
+  return t;
+}
+
+Tensor Rng::GlorotTensor(int64_t rows, int64_t cols) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return UniformTensor(rows, cols, -limit, limit);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  GEA_CHECK(k <= n);
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  Shuffle(&idx);
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+int64_t Rng::SampleWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    GEA_CHECK(w >= 0.0);
+    total += w;
+  }
+  GEA_CHECK(total > 0.0);
+  double r = Uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+}  // namespace geattack

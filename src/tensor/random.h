@@ -1,0 +1,77 @@
+// Seeded random-number utilities shared by the whole library.
+//
+// Every stochastic component (dataset generation, weight init, mask init,
+// random attack, target sampling) takes an explicit Rng so that experiments
+// are reproducible from a single seed, as required by the mean±std protocol
+// of the paper's Table 1/2.
+
+#ifndef GEATTACK_SRC_TENSOR_RANDOM_H_
+#define GEATTACK_SRC_TENSOR_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace geattack {
+
+/// A seeded pseudo-random generator with the handful of distributions the
+/// library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev`.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Tensor with iid uniform entries in [lo, hi).
+  Tensor UniformTensor(int64_t rows, int64_t cols, double lo, double hi);
+
+  /// Tensor with iid normal entries.
+  Tensor NormalTensor(int64_t rows, int64_t cols, double mean, double stddev);
+
+  /// Glorot/Xavier-uniform initialization for a rows x cols weight matrix.
+  Tensor GlorotTensor(int64_t rows, int64_t cols);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  int64_t SampleWeighted(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_TENSOR_RANDOM_H_

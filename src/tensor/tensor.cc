@@ -1,0 +1,333 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace geattack {
+
+namespace internal {
+
+void CheckFailed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "GEA_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+
+Tensor::Tensor(int64_t rows, int64_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {
+  GEA_CHECK(rows >= 0 && cols >= 0);
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  GEA_CHECK(static_cast<int64_t>(data_.size()) == rows * cols);
+}
+
+Tensor Tensor::Scalar(double v) { return Tensor(1, 1, {v}); }
+
+Tensor Tensor::Identity(int64_t n) {
+  Tensor t(n, n);
+  for (int64_t i = 0; i < n; ++i) t.data_[i * n + i] = 1.0;
+  return t;
+}
+
+Tensor Tensor::Ones(int64_t rows, int64_t cols) {
+  return Tensor(rows, cols, 1.0);
+}
+
+Tensor Tensor::Zeros(int64_t rows, int64_t cols) {
+  return Tensor(rows, cols, 0.0);
+}
+
+Tensor Tensor::OneHotRow(int64_t n, int64_t index) {
+  GEA_CHECK(index >= 0 && index < n);
+  Tensor t(1, n);
+  t.data_[index] = 1.0;
+  return t;
+}
+
+double Tensor::scalar() const {
+  GEA_CHECK(rows_ == 1 && cols_ == 1);
+  return data_[0];
+}
+
+Tensor Tensor::operator+(const Tensor& o) const {
+  GEA_CHECK(same_shape(o));
+  Tensor r = *this;
+  for (int64_t i = 0; i < size(); ++i) r.data_[i] += o.data_[i];
+  return r;
+}
+
+Tensor Tensor::operator-(const Tensor& o) const {
+  GEA_CHECK(same_shape(o));
+  Tensor r = *this;
+  for (int64_t i = 0; i < size(); ++i) r.data_[i] -= o.data_[i];
+  return r;
+}
+
+Tensor Tensor::operator*(const Tensor& o) const {
+  GEA_CHECK(same_shape(o));
+  Tensor r = *this;
+  for (int64_t i = 0; i < size(); ++i) r.data_[i] *= o.data_[i];
+  return r;
+}
+
+Tensor Tensor::operator/(const Tensor& o) const {
+  GEA_CHECK(same_shape(o));
+  Tensor r = *this;
+  for (int64_t i = 0; i < size(); ++i) r.data_[i] /= o.data_[i];
+  return r;
+}
+
+Tensor Tensor::operator-() const { return MulScalar(-1.0); }
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  GEA_CHECK(same_shape(o));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  GEA_CHECK(same_shape(o));
+  for (int64_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor Tensor::AddScalar(double s) const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v += s;
+  return r;
+}
+
+Tensor Tensor::MulScalar(double s) const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v *= s;
+  return r;
+}
+
+Tensor Tensor::Map(const std::function<double(double)>& f) const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v = f(v);
+  return r;
+}
+
+Tensor Tensor::Sigmoid() const {
+  Tensor r = *this;
+  for (auto& v : r.data_) {
+    // Numerically stable split on sign.
+    if (v >= 0) {
+      v = 1.0 / (1.0 + std::exp(-v));
+    } else {
+      const double e = std::exp(v);
+      v = e / (1.0 + e);
+    }
+  }
+  return r;
+}
+
+Tensor Tensor::Relu() const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v = v > 0 ? v : 0.0;
+  return r;
+}
+
+Tensor Tensor::Exp() const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v = std::exp(v);
+  return r;
+}
+
+Tensor Tensor::Log() const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v = std::log(v);
+  return r;
+}
+
+Tensor Tensor::Pow(double e) const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v = std::pow(v, e);
+  return r;
+}
+
+Tensor Tensor::Sqrt() const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v = std::sqrt(v);
+  return r;
+}
+
+Tensor Tensor::Abs() const {
+  Tensor r = *this;
+  for (auto& v : r.data_) v = std::fabs(v);
+  return r;
+}
+
+Tensor Tensor::MatMul(const Tensor& o) const {
+  GEA_CHECK(cols_ == o.rows_);
+  Tensor r(rows_, o.cols_);
+  const int64_t m = rows_, k = cols_, n = o.cols_;
+  const double* a = data_.data();
+  const double* b = o.data_.data();
+  double* c = r.data_.data();
+  // i-k-j loop order: streams through b and c rows, cache friendly for the
+  // dense sizes used here (hundreds to a few thousands).
+  for (int64_t i = 0; i < m; ++i) {
+    const double* ai = a + i * k;
+    double* ci = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double av = ai[kk];
+      if (av == 0.0) continue;  // Adjacency matrices are sparse in practice.
+      const double* bk = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+    }
+  }
+  return r;
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor r(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i)
+    for (int64_t j = 0; j < cols_; ++j)
+      r.data_[j * rows_ + i] = data_[i * cols_ + j];
+  return r;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Tensor::Max() const {
+  GEA_CHECK(!empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::Min() const {
+  GEA_CHECK(!empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+Tensor Tensor::RowSum() const {
+  Tensor r(rows_, 1);
+  for (int64_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < cols_; ++j) s += data_[i * cols_ + j];
+    r.data_[i] = s;
+  }
+  return r;
+}
+
+Tensor Tensor::ColSum() const {
+  Tensor r(1, cols_);
+  for (int64_t i = 0; i < rows_; ++i)
+    for (int64_t j = 0; j < cols_; ++j) r.data_[j] += data_[i * cols_ + j];
+  return r;
+}
+
+Tensor Tensor::RowMax() const {
+  GEA_CHECK(cols_ > 0);
+  Tensor r(rows_, 1);
+  for (int64_t i = 0; i < rows_; ++i) {
+    double m = -std::numeric_limits<double>::infinity();
+    for (int64_t j = 0; j < cols_; ++j)
+      m = std::max(m, data_[i * cols_ + j]);
+    r.data_[i] = m;
+  }
+  return r;
+}
+
+int64_t Tensor::ArgMaxRow(int64_t r) const {
+  GEA_CHECK(r >= 0 && r < rows_ && cols_ > 0);
+  int64_t best = 0;
+  for (int64_t j = 1; j < cols_; ++j)
+    if (data_[r * cols_ + j] > data_[r * cols_ + best]) best = j;
+  return best;
+}
+
+bool Tensor::BroadcastCompatible(const Tensor& o) const {
+  if (same_shape(o)) return true;
+  if (o.rows_ == rows_ && o.cols_ == 1) return true;
+  if (o.rows_ == 1 && o.cols_ == cols_) return true;
+  if (o.rows_ == 1 && o.cols_ == 1) return true;
+  return false;
+}
+
+Tensor Tensor::BroadcastBinary(
+    const Tensor& o, const std::function<double(double, double)>& f) const {
+  GEA_CHECK(BroadcastCompatible(o));
+  Tensor r(rows_, cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) {
+      const int64_t oi = o.rows_ == 1 ? 0 : i;
+      const int64_t oj = o.cols_ == 1 ? 0 : j;
+      r.data_[i * cols_ + j] =
+          f(data_[i * cols_ + j], o.data_[oi * o.cols_ + oj]);
+    }
+  }
+  return r;
+}
+
+void Tensor::FillDiagonal(double v) {
+  GEA_CHECK(rows_ == cols_);
+  for (int64_t i = 0; i < rows_; ++i) data_[i * cols_ + i] = v;
+}
+
+Tensor Tensor::Row(int64_t r) const {
+  GEA_CHECK(r >= 0 && r < rows_);
+  Tensor t(1, cols_);
+  std::copy(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_,
+            t.data_.begin());
+  return t;
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+bool Tensor::AllFinite() const {
+  for (double v : data_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+double Tensor::MaxAbsDiff(const Tensor& o) const {
+  GEA_CHECK(same_shape(o));
+  double m = 0.0;
+  for (int64_t i = 0; i < size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+  return m;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "Tensor(" << rows_ << "x" << cols_ << ")";
+  return os.str();
+}
+
+std::string Tensor::DebugString() const {
+  std::ostringstream os;
+  os << ShapeString() << " [";
+  for (int64_t i = 0; i < rows_; ++i) {
+    if (i) os << "; ";
+    for (int64_t j = 0; j < cols_; ++j) {
+      if (j) os << ", ";
+      os << at(i, j);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t) {
+  return os << t.DebugString();
+}
+
+}  // namespace geattack

@@ -1,0 +1,165 @@
+// Dense row-major 2-D tensor used throughout the library.
+//
+// Every value in this reproduction (adjacency matrices, feature matrices,
+// GCN weights, explainer masks) is a dense matrix of doubles.  The graphs in
+// the paper's evaluation fit comfortably in dense form, and dense storage
+// keeps the autodiff engine (src/tensor/autodiff.h) simple and predictable.
+//
+// Tensors are value types: copy is deep, move is cheap.  Shapes are checked
+// on every operation; a shape mismatch is a programming error and aborts via
+// GEA_CHECK.
+
+#ifndef GEATTACK_SRC_TENSOR_TENSOR_H_
+#define GEATTACK_SRC_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace geattack {
+
+// Lightweight CHECK macro: prints the failed condition and aborts.  Used for
+// shape/programming errors which are never recoverable.
+#define GEA_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::geattack::internal::CheckFailed(#cond, __FILE__, __LINE__);       \
+    }                                                                     \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
+}  // namespace internal
+
+/// A dense row-major matrix of doubles.  A (1,1) tensor doubles as a scalar.
+class Tensor {
+ public:
+  /// Creates an empty (0,0) tensor.
+  Tensor() = default;
+
+  /// Creates a rows x cols tensor filled with `fill`.
+  Tensor(int64_t rows, int64_t cols, double fill = 0.0);
+
+  /// Creates a tensor from explicit row-major data; data.size() must equal
+  /// rows*cols.
+  Tensor(int64_t rows, int64_t cols, std::vector<double> data);
+
+  /// Creates a (1,1) scalar tensor.
+  static Tensor Scalar(double v);
+  /// Identity matrix of size n.
+  static Tensor Identity(int64_t n);
+  /// All-ones matrix.
+  static Tensor Ones(int64_t rows, int64_t cols);
+  /// All-zeros matrix.
+  static Tensor Zeros(int64_t rows, int64_t cols);
+  /// One-hot row vector of length `n` with a 1 at `index`.
+  static Tensor OneHotRow(int64_t n, int64_t index);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+  bool same_shape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& at(int64_t r, int64_t c) {
+    GEA_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(int64_t r, int64_t c) const {
+    GEA_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  /// Unchecked flat access (row-major).
+  double& operator[](int64_t i) { return data_[i]; }
+  double operator[](int64_t i) const { return data_[i]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Returns the value of a (1,1) tensor.
+  double scalar() const;
+
+  // ----- Elementwise arithmetic (allocating; shapes must match exactly). ---
+  Tensor operator+(const Tensor& o) const;
+  Tensor operator-(const Tensor& o) const;
+  Tensor operator*(const Tensor& o) const;  ///< Hadamard product.
+  Tensor operator/(const Tensor& o) const;
+  Tensor operator-() const;
+
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+
+  // ----- Scalar arithmetic. ----------------------------------------------
+  Tensor AddScalar(double s) const;
+  Tensor MulScalar(double s) const;
+
+  // ----- Elementwise maps. -------------------------------------------------
+  Tensor Map(const std::function<double(double)>& f) const;
+  Tensor Sigmoid() const;
+  Tensor Relu() const;
+  Tensor Exp() const;
+  Tensor Log() const;
+  Tensor Pow(double e) const;
+  Tensor Sqrt() const;
+  Tensor Abs() const;
+
+  // ----- Linear algebra. ---------------------------------------------------
+  /// Matrix product (this: m x k, o: k x n) -> m x n.
+  Tensor MatMul(const Tensor& o) const;
+  Tensor Transposed() const;
+
+  // ----- Reductions. -------------------------------------------------------
+  double Sum() const;
+  double Max() const;
+  double Min() const;
+  /// Row-wise sum -> (rows,1).
+  Tensor RowSum() const;
+  /// Column-wise sum -> (1,cols).
+  Tensor ColSum() const;
+  /// Row-wise max -> (rows,1).
+  Tensor RowMax() const;
+  /// Index of the max element in row r.
+  int64_t ArgMaxRow(int64_t r) const;
+
+  // ----- Broadcasting helpers. ---------------------------------------------
+  /// True if `o` broadcasts against this tensor's shape: equal shape, or o is
+  /// (rows,1), (1,cols) or (1,1).
+  bool BroadcastCompatible(const Tensor& o) const;
+  /// Elementwise binary op with broadcasting of `o` (per
+  /// BroadcastCompatible); `f(a, b)` combines this-element and o-element.
+  Tensor BroadcastBinary(const Tensor& o,
+                         const std::function<double(double, double)>& f) const;
+
+  // ----- Structure helpers used by the graph code. --------------------------
+  /// Sets the main diagonal to `v` (square tensors only).
+  void FillDiagonal(double v);
+  /// Returns row r as a (1,cols) tensor.
+  Tensor Row(int64_t r) const;
+  /// Frobenius norm.
+  double Norm() const;
+  /// True if all finite.
+  bool AllFinite() const;
+  /// Max |a-b| over elements; shapes must match.
+  double MaxAbsDiff(const Tensor& o) const;
+
+  /// Human-readable short description, e.g. "Tensor(3x4)".
+  std::string ShapeString() const;
+  /// Full contents (small tensors only; intended for tests/debugging).
+  std::string DebugString() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,141 @@
+// Tests for the edge-indexed and column-block autodiff ops that power
+// PGExplainer (ScatterEdges/GatherEdges, HConcat/SliceCols), and for the
+// reporting helpers.
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "src/eval/report.h"
+#include "src/tensor/autodiff.h"
+#include "src/tensor/random.h"
+#include "tests/test_util.h"
+
+namespace geattack {
+namespace {
+
+TEST(ScatterEdgesTest, WritesSymmetrically) {
+  Var values = Constant(Tensor(2, 1, {3.0, 5.0}));
+  std::vector<IndexPair> pairs = {{0, 1}, {2, 3}};
+  Var m = ScatterEdges(values, pairs, 4);
+  EXPECT_DOUBLE_EQ(m.value().at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.value().at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.value().at(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(m.value().at(3, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.value().Sum(), 16.0);
+}
+
+TEST(ScatterEdgesTest, DuplicatePairsAccumulate) {
+  Var values = Constant(Tensor(2, 1, {1.0, 2.0}));
+  std::vector<IndexPair> pairs = {{0, 1}, {0, 1}};
+  Var m = ScatterEdges(values, pairs, 3);
+  EXPECT_DOUBLE_EQ(m.value().at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.value().at(1, 0), 3.0);
+}
+
+TEST(GatherEdgesTest, AdjointOfScatter) {
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(4, 4, 0, 1);
+  std::vector<IndexPair> pairs = {{0, 2}, {1, 3}};
+  Var g = GatherEdges(Constant(a), pairs);
+  EXPECT_DOUBLE_EQ(g.value().at(0, 0), a.at(0, 2) + a.at(2, 0));
+  EXPECT_DOUBLE_EQ(g.value().at(1, 0), a.at(1, 3) + a.at(3, 1));
+}
+
+TEST(ScatterEdgesTest, GradientMatchesFiniteDifferences) {
+  std::vector<IndexPair> pairs = {{0, 1}, {1, 2}, {0, 3}};
+  auto fn = [&pairs](const Var& v) {
+    Var m = ScatterEdges(v, pairs, 4);
+    return Sum(Mul(m, m));
+  };
+  Rng rng(2);
+  geattack::testing::ExpectGradientsMatch(fn, rng.NormalTensor(3, 1, 0, 1));
+  geattack::testing::ExpectSecondOrderMatch(fn, rng.NormalTensor(3, 1, 0, 1));
+}
+
+TEST(GatherEdgesTest, GradientMatchesFiniteDifferences) {
+  std::vector<IndexPair> pairs = {{0, 1}, {2, 2}};
+  auto fn = [&pairs](const Var& a) {
+    Var g = GatherEdges(a, pairs);
+    return Sum(Mul(g, g));
+  };
+  Rng rng(3);
+  geattack::testing::ExpectGradientsMatch(fn, rng.NormalTensor(3, 3, 0, 1));
+}
+
+TEST(HConcatTest, ValuesAndShape) {
+  Var a = Constant(Tensor(2, 2, {1, 2, 3, 4}));
+  Var b = Constant(Tensor(2, 1, {9, 8}));
+  Var c = HConcat(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_DOUBLE_EQ(c.value().at(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(c.value().at(1, 0), 3.0);
+}
+
+TEST(SliceColsTest, InverseOfConcat) {
+  Rng rng(4);
+  Tensor at = rng.NormalTensor(3, 2, 0, 1);
+  Tensor bt = rng.NormalTensor(3, 4, 0, 1);
+  Var c = HConcat(Constant(at), Constant(bt));
+  EXPECT_LE(SliceCols(c, 0, 2).value().MaxAbsDiff(at), 0.0);
+  EXPECT_LE(SliceCols(c, 2, 4).value().MaxAbsDiff(bt), 0.0);
+}
+
+TEST(HConcatTest, GradientSplitsCorrectly) {
+  Rng rng(5);
+  Tensor at = rng.NormalTensor(2, 2, 0, 1);
+  Tensor bt = rng.NormalTensor(2, 3, 0, 1);
+  Var a = Var::Leaf(at, true);
+  Var b = Var::Leaf(bt, true);
+  // y = sum(concat(a,b)^2) => dy/da = 2a, dy/db = 2b.
+  Var c = HConcat(a, b);
+  Var y = Sum(Mul(c, c));
+  auto grads = Grad(y, {a, b});
+  EXPECT_LE(grads[0].value().MaxAbsDiff(at.MulScalar(2.0)), 1e-12);
+  EXPECT_LE(grads[1].value().MaxAbsDiff(bt.MulScalar(2.0)), 1e-12);
+}
+
+TEST(SliceColsTest, GradientMatchesFiniteDifferences) {
+  auto fn = [](const Var& x) {
+    Var s = SliceCols(x, 1, 2);
+    return Sum(Mul(s, s));
+  };
+  Rng rng(6);
+  geattack::testing::ExpectGradientsMatch(fn, rng.NormalTensor(3, 4, 0, 1));
+  geattack::testing::ExpectSecondOrderMatch(fn, rng.NormalTensor(3, 4, 0, 1));
+}
+
+TEST(SeedAggregateTest, CellFormatsPercent) {
+  SeedAggregate agg;
+  agg.Add(0.9911);
+  agg.Add(0.9911);
+  EXPECT_EQ(agg.Cell(), "99.11±0.00");
+}
+
+TEST(SeedAggregateTest, StddevAcrossSeeds) {
+  SeedAggregate agg;
+  agg.Add(0.5);
+  agg.Add(0.7);
+  EXPECT_NEAR(agg.mean(), 0.6, 1e-12);
+  EXPECT_GT(agg.stddev(), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"A", "LongHeader"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"yyyy", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("LongHeader"), std::string::npos);
+  EXPECT_NE(out.find("yyyy"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+}
+
+}  // namespace
+}  // namespace geattack

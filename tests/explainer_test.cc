@@ -1,0 +1,199 @@
+// Tests for GNNExplainer and PGExplainer: the explanations must be
+// deterministic, confined to the computation subgraph, and must surface
+// influential (adversarial) edges — the paper's §3 premise.
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "src/attack/attack.h"
+#include "src/attack/fga.h"
+#include "src/eval/metrics.h"
+#include "src/eval/pipeline.h"
+#include "src/explain/gnn_explainer.h"
+#include "src/explain/pg_explainer.h"
+#include "src/graph/generators.h"
+#include "src/nn/trainer.h"
+
+namespace geattack {
+namespace {
+
+struct Fixture {
+  GraphData data;
+  Split split;
+  Gcn model;
+  Tensor adjacency;
+  Tensor logits;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  Rng rng(seed);
+  CitationGraphConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_edges = 320;
+  cfg.num_classes = 3;
+  cfg.feature_dim = 48;
+  GraphData data =
+      KeepLargestConnectedComponent(GenerateCitationGraph(cfg, &rng));
+  Split split = MakeSplit(data, 0.1, 0.1, &rng);
+  TrainConfig tc;
+  tc.hidden_dim = 16;
+  Gcn model = TrainNewGcn(data, split, tc, &rng);
+  Tensor adjacency = data.graph.DenseAdjacency();
+  Tensor logits = model.LogitsFromRaw(adjacency, data.features);
+  return {std::move(data), std::move(split), std::move(model),
+          std::move(adjacency), std::move(logits)};
+}
+
+GnnExplainerConfig FastExplainerConfig() {
+  GnnExplainerConfig cfg;
+  cfg.epochs = 60;
+  return cfg;
+}
+
+TEST(GnnExplainerTest, RankedEdgesWithinComputationSubgraph) {
+  Fixture f = MakeFixture(1);
+  GnnExplainerConfig cfg = FastExplainerConfig();
+  cfg.restrict_to_subgraph = true;
+  GnnExplainer explainer(&f.model, &f.data.features, cfg);
+  const int64_t node = f.split.test[0];
+  Explanation e =
+      explainer.Explain(f.adjacency, node, f.logits.ArgMaxRow(node));
+  ASSERT_FALSE(e.ranked_edges.empty());
+  const auto subgraph = f.data.graph.KHopNeighborhood(node, 2);
+  for (const ScoredEdge& se : e.ranked_edges) {
+    EXPECT_TRUE(std::binary_search(subgraph.begin(), subgraph.end(),
+                                   se.edge.u));
+    EXPECT_TRUE(std::binary_search(subgraph.begin(), subgraph.end(),
+                                   se.edge.v));
+    EXPECT_GE(se.weight, 0.0);
+    EXPECT_LE(se.weight, 1.0);
+  }
+  // Ranking is sorted descending.
+  for (size_t i = 1; i < e.ranked_edges.size(); ++i)
+    EXPECT_GE(e.ranked_edges[i - 1].weight, e.ranked_edges[i].weight);
+}
+
+TEST(GnnExplainerTest, DeterministicGivenSeed) {
+  Fixture f = MakeFixture(2);
+  GnnExplainer a(&f.model, &f.data.features, FastExplainerConfig());
+  GnnExplainer b(&f.model, &f.data.features, FastExplainerConfig());
+  const int64_t node = f.split.test[1];
+  const int64_t label = f.logits.ArgMaxRow(node);
+  Explanation ea = a.Explain(f.adjacency, node, label);
+  Explanation eb = b.Explain(f.adjacency, node, label);
+  ASSERT_EQ(ea.ranked_edges.size(), eb.ranked_edges.size());
+  for (size_t i = 0; i < ea.ranked_edges.size(); ++i) {
+    EXPECT_EQ(ea.ranked_edges[i].edge, eb.ranked_edges[i].edge);
+    EXPECT_DOUBLE_EQ(ea.ranked_edges[i].weight, eb.ranked_edges[i].weight);
+  }
+}
+
+TEST(GnnExplainerTest, DetectsFgaAdversarialEdges) {
+  // §3 premise: attack a node with FGA-T, then the explainer should rank
+  // the adversarial edges highly.
+  Fixture f = MakeFixture(3);
+  Rng rng(33);
+  AttackContext ctx = MakeAttackContext(f.data, f.model);
+  auto targets = SelectTargetNodes(f.data, f.logits, f.split.test,
+                                   {.top_margin = 3, .bottom_margin = 3,
+                                    .random = 4},
+                                   &rng);
+  auto prepared = PrepareTargets(ctx, targets, &rng);
+  ASSERT_GE(prepared.size(), 3u);
+
+  GnnExplainer explainer(&f.model, &f.data.features, FastExplainerConfig());
+  const FgaAttack fga(/*targeted=*/true);
+  double total_ndcg = 0.0;
+  int64_t evaluated = 0;
+  for (const auto& t : prepared) {
+    AttackRequest req{t.node, t.target_label, t.budget};
+    AttackResult result = fga.Attack(ctx, req, &rng);
+    if (result.added_edges.empty()) continue;
+    const Tensor logits =
+        f.model.LogitsFromRaw(result.adjacency, f.data.features);
+    Explanation e = explainer.Explain(result.adjacency, t.node,
+                                      logits.ArgMaxRow(t.node));
+    DetectionMetrics d = ComputeDetection(e, result.added_edges, 20, 15);
+    total_ndcg += d.ndcg;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 0);
+  // On average the gradient attack's edges must be clearly visible.
+  EXPECT_GT(total_ndcg / evaluated, 0.25);
+}
+
+TEST(PgExplainerTest, TrainsAndExplains) {
+  Fixture f = MakeFixture(4);
+  PgExplainerConfig cfg;
+  cfg.epochs = 20;
+  PgExplainer explainer(&f.model, &f.data.features, cfg);
+  std::vector<int64_t> instances(f.split.train.begin(),
+                                 f.split.train.begin() + 8);
+  std::vector<int64_t> labels = PredictLabels(f.logits);
+  explainer.Train(f.adjacency, instances, labels);
+  EXPECT_TRUE(explainer.trained());
+
+  const int64_t node = f.split.test[0];
+  Explanation e = explainer.Explain(f.adjacency, node,
+                                    f.logits.ArgMaxRow(node));
+  ASSERT_FALSE(e.ranked_edges.empty());
+  for (const ScoredEdge& se : e.ranked_edges) {
+    EXPECT_GE(se.weight, 0.0);
+    EXPECT_LE(se.weight, 1.0);
+  }
+}
+
+TEST(PgExplainerTest, InductiveAcrossNodesWithoutRetraining) {
+  Fixture f = MakeFixture(5);
+  PgExplainerConfig cfg;
+  cfg.epochs = 15;
+  PgExplainer explainer(&f.model, &f.data.features, cfg);
+  std::vector<int64_t> instances(f.split.train.begin(),
+                                 f.split.train.begin() + 6);
+  explainer.Train(f.adjacency, instances, PredictLabels(f.logits));
+  // Explaining several unseen nodes must work with the same parameters.
+  for (int64_t node : {f.split.test[0], f.split.test[3], f.split.test[6]}) {
+    Explanation e =
+        explainer.Explain(f.adjacency, node, f.logits.ArgMaxRow(node));
+    EXPECT_EQ(e.node, node);
+  }
+}
+
+TEST(PgEdgeLogitsTest, ShapeAndGradientFlow) {
+  Rng rng(6);
+  Var hidden = Var::Leaf(rng.NormalTensor(10, 4, 0, 1), true, "H");
+  std::vector<IndexPair> pairs = {{0, 1}, {1, 2}, {3, 4}};
+  Var w1 = Var::Leaf(rng.GlorotTensor(12, 8), true);
+  Var b1 = Var::Leaf(Tensor(1, 8), true);
+  Var w2 = Var::Leaf(rng.GlorotTensor(8, 1), true);
+  Var omega = PgEdgeLogits(hidden, pairs, 5, w1, b1, w2);
+  EXPECT_EQ(omega.rows(), 3);
+  EXPECT_EQ(omega.cols(), 1);
+  auto grads = Grad(Sum(omega), {hidden, w1, w2});
+  EXPECT_GT(grads[0].value().Norm(), 0.0);
+  EXPECT_GT(grads[1].value().Norm(), 0.0);
+  EXPECT_GT(grads[2].value().Norm(), 0.0);
+}
+
+TEST(ExplanationTest, TopEdgesAndRankOf) {
+  Explanation e;
+  e.ranked_edges = {{Edge(0, 1), 0.9}, {Edge(1, 2), 0.5}, {Edge(2, 3), 0.1}};
+  auto top2 = e.TopEdges(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], Edge(0, 1));
+  EXPECT_EQ(e.RankOf(Edge(2, 3)), 2);
+  EXPECT_EQ(e.RankOf(Edge(5, 6)), -1);
+  EXPECT_EQ(e.TopEdges(10).size(), 3u);
+}
+
+TEST(ExplanationTest, SortStableDeterministicTies) {
+  std::vector<ScoredEdge> edges = {{Edge(3, 4), 0.5}, {Edge(0, 1), 0.5},
+                                   {Edge(1, 2), 0.7}};
+  SortScoredEdges(&edges);
+  EXPECT_EQ(edges[0].edge, Edge(1, 2));
+  EXPECT_EQ(edges[1].edge, Edge(0, 1));  // Tie broken by canonical order.
+  EXPECT_EQ(edges[2].edge, Edge(3, 4));
+}
+
+}  // namespace
+}  // namespace geattack

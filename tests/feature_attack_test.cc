@@ -1,0 +1,115 @@
+// Tests for the feature-perturbation extension attack.
+
+#include "src/attack/feature_attack.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/eval/pipeline.h"
+#include "src/graph/generators.h"
+#include "src/nn/trainer.h"
+
+namespace geattack {
+namespace {
+
+struct Fixture {
+  GraphData data;
+  Split split;
+  std::unique_ptr<Gcn> model;
+  AttackContext ctx;
+  std::vector<PreparedTarget> targets;
+};
+
+Fixture* SharedFixture() {
+  static Fixture* f = [] {
+    auto* fx = new Fixture();
+    Rng rng(21);
+    CitationGraphConfig cfg;
+    cfg.num_nodes = 130;
+    cfg.num_edges = 340;
+    cfg.num_classes = 3;
+    cfg.feature_dim = 48;
+    fx->data = KeepLargestConnectedComponent(GenerateCitationGraph(cfg, &rng));
+    fx->split = MakeSplit(fx->data, 0.1, 0.1, &rng);
+    fx->model = std::make_unique<Gcn>(
+        TrainNewGcn(fx->data, fx->split, TrainConfig{}, &rng));
+    fx->ctx = MakeAttackContext(fx->data, *fx->model);
+    Tensor logits = fx->model->LogitsFromRaw(fx->ctx.clean_adjacency,
+                                             fx->data.features);
+    auto nodes = SelectTargetNodes(
+        fx->data, logits, fx->split.test,
+        {.top_margin = 2, .bottom_margin = 2, .random = 2}, &rng);
+    fx->targets = PrepareTargets(fx->ctx, nodes, &rng);
+    return fx;
+  }();
+  return f;
+}
+
+TEST(FeatureAttackTest, OnlyTouchesTargetRowWithinBudget) {
+  Fixture* f = SharedFixture();
+  ASSERT_FALSE(f->targets.empty());
+  const auto& t = f->targets[0];
+  FeatureAttack attack;
+  AttackRequest req{t.node, t.target_label, /*budget=*/5};
+  FeatureAttackResult result = attack.Attack(f->ctx, req);
+  EXPECT_LE(result.flipped.size(), 5u);
+  int64_t changed_rows = 0;
+  for (int64_t i = 0; i < f->data.num_nodes(); ++i) {
+    double diff = 0.0;
+    for (int64_t j = 0; j < f->data.feature_dim(); ++j)
+      diff += std::abs(result.features.at(i, j) -
+                       f->data.features.at(i, j));
+    if (diff > 0) {
+      ++changed_rows;
+      EXPECT_EQ(i, t.node);
+    }
+  }
+  EXPECT_LE(changed_rows, 1);
+  // Features stay binary.
+  for (int64_t j = 0; j < f->data.feature_dim(); ++j) {
+    const double v = result.features.at(t.node, j);
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(FeatureAttackTest, FlipsPredictionWithEnoughBudget) {
+  Fixture* f = SharedFixture();
+  FeatureAttack attack;
+  int64_t success = 0, total = 0;
+  for (const auto& t : f->targets) {
+    ++total;
+    AttackRequest req{t.node, t.target_label,
+                      /*budget=*/f->data.feature_dim() / 3};
+    FeatureAttackResult result = attack.Attack(f->ctx, req);
+    const Tensor logits =
+        f->model->LogitsFromRaw(f->ctx.clean_adjacency, result.features);
+    if (logits.ArgMaxRow(t.node) == t.target_label) ++success;
+  }
+  ASSERT_GT(total, 0);
+  // Bag-of-words features drive the GCN strongly: generous budgets should
+  // flip most targets.
+  EXPECT_GE(static_cast<double>(success) / total, 0.5);
+}
+
+TEST(FeatureAttackTest, ZeroBudgetIsNoop) {
+  Fixture* f = SharedFixture();
+  const auto& t = f->targets[0];
+  FeatureAttack attack;
+  AttackRequest req{t.node, t.target_label, 0};
+  FeatureAttackResult result = attack.Attack(f->ctx, req);
+  EXPECT_TRUE(result.flipped.empty());
+  EXPECT_LE(result.features.MaxAbsDiff(f->data.features), 0.0);
+}
+
+TEST(FeatureAttackTest, MonotoneBudgetNeverFlipsSameBitTwice) {
+  Fixture* f = SharedFixture();
+  const auto& t = f->targets[0];
+  FeatureAttack attack;
+  AttackRequest req{t.node, t.target_label, 12};
+  FeatureAttackResult result = attack.Attack(f->ctx, req);
+  std::set<int64_t> unique(result.flipped.begin(), result.flipped.end());
+  EXPECT_EQ(unique.size(), result.flipped.size());
+}
+
+}  // namespace
+}  // namespace geattack

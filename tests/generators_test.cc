@@ -1,0 +1,182 @@
+// Tests for the synthetic dataset generators and presets.
+
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/graph/datasets.h"
+
+namespace geattack {
+namespace {
+
+CitationGraphConfig SmallConfig() {
+  CitationGraphConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 500;
+  cfg.num_classes = 4;
+  cfg.feature_dim = 64;
+  return cfg;
+}
+
+TEST(GeneratorsTest, NodeAndEdgeCounts) {
+  Rng rng(1);
+  GraphData data = GenerateCitationGraph(SmallConfig(), &rng);
+  EXPECT_EQ(data.num_nodes(), 200);
+  // Edge target hit within tolerance (isolated-node patching may add a few).
+  EXPECT_GE(data.graph.num_edges(), 450);
+  EXPECT_LE(data.graph.num_edges(), 560);
+  EXPECT_EQ(data.feature_dim(), 64);
+  EXPECT_EQ(data.num_classes, 4);
+  EXPECT_TRUE(data.graph.CheckInvariants());
+}
+
+TEST(GeneratorsTest, LabelsBalanced) {
+  Rng rng(2);
+  GraphData data = GenerateCitationGraph(SmallConfig(), &rng);
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t y : data.labels) {
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 4);
+    ++counts[y];
+  }
+  for (int64_t c : counts) EXPECT_EQ(c, 50);
+}
+
+TEST(GeneratorsTest, HomophilyApproximatelyMet) {
+  Rng rng(3);
+  CitationGraphConfig cfg = SmallConfig();
+  cfg.homophily = 0.8;
+  GraphData data = GenerateCitationGraph(cfg, &rng);
+  int64_t same = 0, total = 0;
+  for (const Edge& e : data.graph.Edges()) {
+    ++total;
+    if (data.labels[e.u] == data.labels[e.v]) ++same;
+  }
+  const double ratio = static_cast<double>(same) / total;
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 0.9);
+}
+
+TEST(GeneratorsTest, FeaturesClassInformative) {
+  Rng rng(4);
+  CitationGraphConfig cfg = SmallConfig();
+  GraphData data = GenerateCitationGraph(cfg, &rng);
+  // Topic words of a node's own class should be on far more often than
+  // other classes' topic words.
+  const int64_t words = cfg.feature_dim / cfg.num_classes >= cfg.words_per_class
+                            ? cfg.words_per_class
+                            : cfg.feature_dim / cfg.num_classes;
+  double own = 0, other = 0;
+  int64_t own_n = 0, other_n = 0;
+  for (int64_t i = 0; i < data.num_nodes(); ++i) {
+    for (int64_t k = 0; k < cfg.num_classes; ++k) {
+      for (int64_t j = k * words; j < (k + 1) * words; ++j) {
+        if (k == data.labels[i]) {
+          own += data.features.at(i, j);
+          ++own_n;
+        } else {
+          other += data.features.at(i, j);
+          ++other_n;
+        }
+      }
+    }
+  }
+  EXPECT_GT(own / own_n, 5.0 * other / other_n);
+}
+
+TEST(GeneratorsTest, NoIsolatedNodes) {
+  Rng rng(5);
+  GraphData data = GenerateCitationGraph(SmallConfig(), &rng);
+  for (int64_t i = 0; i < data.num_nodes(); ++i)
+    EXPECT_GT(data.graph.Degree(i), 0) << "node " << i;
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng rng1(77), rng2(77);
+  GraphData a = GenerateCitationGraph(SmallConfig(), &rng1);
+  GraphData b = GenerateCitationGraph(SmallConfig(), &rng2);
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_LE(a.features.MaxAbsDiff(b.features), 0.0);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(GeneratorsTest, KeepLargestConnectedComponentConsistent) {
+  Rng rng(6);
+  GraphData data = GenerateCitationGraph(SmallConfig(), &rng);
+  GraphData lcc = KeepLargestConnectedComponent(data);
+  EXPECT_LE(lcc.num_nodes(), data.num_nodes());
+  EXPECT_GE(lcc.num_nodes(), data.num_nodes() / 2);  // Mostly connected.
+  auto comp = lcc.graph.ConnectedComponents();
+  EXPECT_TRUE(std::all_of(comp.begin(), comp.end(),
+                          [](int64_t c) { return c == 0; }));
+  EXPECT_EQ(lcc.features.rows(), lcc.num_nodes());
+  EXPECT_EQ(static_cast<int64_t>(lcc.labels.size()), lcc.num_nodes());
+}
+
+TEST(GeneratorsTest, ErdosRenyiDensity) {
+  Rng rng(7);
+  Graph g = GenerateErdosRenyi(100, 0.1, &rng);
+  const double expected = 0.1 * 100 * 99 / 2;
+  EXPECT_GT(g.num_edges(), expected * 0.7);
+  EXPECT_LT(g.num_edges(), expected * 1.3);
+}
+
+TEST(SplitTest, FractionsAndDisjointness) {
+  Rng rng(8);
+  GraphData data = GenerateCitationGraph(SmallConfig(), &rng);
+  Split split = MakeSplit(data, 0.1, 0.1, &rng);
+  const int64_t n = data.num_nodes();
+  EXPECT_EQ(static_cast<int64_t>(split.train.size() + split.val.size() +
+                                 split.test.size()),
+            n);
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / n, 0.1, 0.03);
+  EXPECT_NEAR(static_cast<double>(split.val.size()) / n, 0.1, 0.03);
+  std::set<int64_t> seen;
+  for (auto* part : {&split.train, &split.val, &split.test})
+    for (int64_t i : *part) EXPECT_TRUE(seen.insert(i).second);
+}
+
+TEST(SplitTest, EveryClassInTrain) {
+  Rng rng(9);
+  GraphData data = GenerateCitationGraph(SmallConfig(), &rng);
+  Split split = MakeSplit(data, 0.1, 0.1, &rng);
+  std::set<int64_t> classes;
+  for (int64_t i : split.train) classes.insert(data.labels[i]);
+  EXPECT_EQ(static_cast<int64_t>(classes.size()), data.num_classes);
+}
+
+TEST(DatasetsTest, PaperStatsMatchTable3) {
+  EXPECT_EQ(PaperStats(DatasetId::kCiteseer).nodes, 2110);
+  EXPECT_EQ(PaperStats(DatasetId::kCiteseer).edges, 3668);
+  EXPECT_EQ(PaperStats(DatasetId::kCora).classes, 7);
+  EXPECT_EQ(PaperStats(DatasetId::kAcm).features, 1870);
+}
+
+TEST(DatasetsTest, PresetScalesNodes) {
+  auto full = PresetConfig(DatasetId::kCora, 1.0);
+  auto half = PresetConfig(DatasetId::kCora, 0.5);
+  EXPECT_EQ(full.num_nodes, 2485);
+  EXPECT_NEAR(static_cast<double>(half.num_nodes), 2485 * 0.5, 2);
+  EXPECT_EQ(full.num_classes, 7);
+  EXPECT_EQ(half.num_classes, 7);
+}
+
+TEST(DatasetsTest, MakeDatasetConnected) {
+  Rng rng(10);
+  GraphData data = MakeDataset(DatasetId::kCiteseer, 0.1, &rng);
+  auto comp = data.graph.ConnectedComponents();
+  for (int64_t c : comp) EXPECT_EQ(c, 0);
+  EXPECT_EQ(data.num_classes, 6);
+  EXPECT_GT(data.num_nodes(), 100);
+}
+
+TEST(DatasetsTest, NamesAreStable) {
+  EXPECT_EQ(DatasetName(DatasetId::kCiteseer), "CITESEER");
+  EXPECT_EQ(DatasetName(DatasetId::kCora), "CORA");
+  EXPECT_EQ(DatasetName(DatasetId::kAcm), "ACM");
+}
+
+}  // namespace
+}  // namespace geattack

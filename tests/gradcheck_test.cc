@@ -1,0 +1,193 @@
+// Property-based gradient checks: every composite expression used by the
+// models/attacks is verified against central finite differences, at first
+// and second order, over a parameterized sweep of shapes and seeds.
+
+#include <cmath>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/tensor/autodiff.h"
+#include "src/tensor/random.h"
+#include "src/tensor/tensor.h"
+#include "tests/test_util.h"
+
+namespace geattack {
+namespace {
+
+using ::geattack::testing::ExpectGradientsMatch;
+using ::geattack::testing::ExpectSecondOrderMatch;
+using ::geattack::testing::ScalarFn;
+
+struct GradCase {
+  std::string name;
+  ScalarFn fn;
+  int64_t rows;
+  int64_t cols;
+  double lo;          // Input sampling range.
+  double hi;
+  bool second_order;  // Also check the double-backward path.
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, FirstOrderMatchesFiniteDifferences) {
+  const GradCase& c = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Tensor x = rng.UniformTensor(c.rows, c.cols, c.lo, c.hi);
+    ExpectGradientsMatch(c.fn, x, 2e-5);
+  }
+}
+
+TEST_P(GradCheckTest, SecondOrderMatchesFiniteDifferences) {
+  const GradCase& c = GetParam();
+  if (!c.second_order) GTEST_SKIP() << "second order not meaningful here";
+  Rng rng(7);
+  Tensor x = rng.UniformTensor(c.rows, c.cols, c.lo, c.hi);
+  ExpectSecondOrderMatch(c.fn, x, 5e-4);
+}
+
+Var QuadraticForm(const Var& x) {
+  // sum(x W x^T) for a fixed W.
+  Rng rng(100);
+  Var w = Constant(rng.NormalTensor(x.cols(), x.cols(), 0, 1));
+  return Sum(MatMul(MatMul(x, w), Transpose(x)));
+}
+
+Var SigmoidMaskLoss(const Var& m) {
+  // The explainer-style masked objective: -log softmax((A ⊙ σ(m)) X W)[0, 1].
+  Rng rng(200);
+  const int64_t n = m.rows();
+  Tensor a = rng.UniformTensor(n, n, 0, 1).Map([](double v) {
+    return v > 0.5 ? 1.0 : 0.0;
+  });
+  a.FillDiagonal(0.0);
+  Var av = Constant(a);
+  Var x = Constant(rng.NormalTensor(n, 3, 0, 1));
+  Var w = Constant(rng.NormalTensor(3, 2, 0, 1));
+  Var masked = Mul(av, Sigmoid(m));
+  Var logits = MatMul(MatMul(masked, x), w);
+  return NllRow(logits, 0, 1);
+}
+
+Var NormalizedAdjacencyLoss(const Var& a) {
+  // Differentiable GCN normalization: sum((D^{-1/2} (A+I) D^{-1/2}) X).
+  const int64_t n = a.rows();
+  Var self = Add(a, Constant(Tensor::Identity(n)));
+  Var deg = RowSum(self);
+  Var dinv = Pow(deg, -0.5);
+  Var norm = Mul(Mul(self, dinv), Transpose(dinv));
+  Rng rng(300);
+  Var x = Constant(rng.NormalTensor(n, 2, 0, 1));
+  return Sum(MatMul(norm, x));
+}
+
+Var TwoLayerGcnLoss(const Var& a) {
+  // Full differentiable 2-layer GCN wrt the adjacency — the exact structure
+  // FGA/GEAttack differentiate in the outer loop.
+  const int64_t n = a.rows();
+  Var self = Add(a, Constant(Tensor::Identity(n)));
+  Var deg = RowSum(self);
+  Var dinv = Pow(deg, -0.5);
+  Var norm = Mul(Mul(self, dinv), Transpose(dinv));
+  Rng rng(400);
+  Var x = Constant(rng.NormalTensor(n, 4, 0, 1));
+  Var w1 = Constant(rng.GlorotTensor(4, 3));
+  Var w2 = Constant(rng.GlorotTensor(3, 2));
+  Var h = Relu(MatMul(MatMul(norm, x), w1));
+  Var logits = MatMul(MatMul(norm, h), w2);
+  return NllRow(logits, 0, 1);
+}
+
+Var UnrolledInnerLoop(const Var& a) {
+  // One full GEAttack-style hypergradient structure: two gradient-descent
+  // steps on a mask whose loss depends on `a`, then a readout of the mask.
+  const int64_t n = a.rows();
+  Rng rng(500);
+  Var m = Var::Leaf(rng.NormalTensor(n, n, 0, 0.1), true);
+  Var x = Constant(rng.NormalTensor(n, 2, 0, 1));
+  for (int t = 0; t < 2; ++t) {
+    Var masked = Mul(a, Sigmoid(m));
+    Var loss = Sum(Mul(MatMul(masked, x), MatMul(masked, x)));
+    Var gm = GradOne(loss, m, {.create_graph = true});
+    m = Sub(m, MulScalar(gm, 0.05));
+  }
+  return Sum(Mul(m, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, GradCheckTest,
+    ::testing::Values(
+        GradCase{"sum_square", [](const Var& x) { return Sum(Mul(x, x)); },
+                 3, 4, -2, 2, true},
+        GradCase{"sigmoid_sum",
+                 [](const Var& x) { return Sum(Sigmoid(x)); }, 2, 5, -3, 3,
+                 true},
+        GradCase{"exp_sum", [](const Var& x) { return Sum(Exp(x)); }, 3, 3,
+                 -1, 1, true},
+        GradCase{"log_sum", [](const Var& x) { return Sum(Log(x)); }, 2, 3,
+                 0.5, 2.0, true},
+        GradCase{"pow_neg_half",
+                 [](const Var& x) { return Sum(Pow(x, -0.5)); }, 2, 2, 0.5,
+                 2.0, true},
+        GradCase{"relu_weighted",
+                 [](const Var& x) {
+                   return Sum(Mul(Relu(x), ConstantScalar(2.0)));
+                 },
+                 3, 3, -2, 2, false},
+        GradCase{"div",
+                 [](const Var& x) {
+                   return Sum(Div(ConstantScalar(1.0), x));
+                 },
+                 2, 2, 0.5, 2.0, true},
+        GradCase{"rowsum_product",
+                 [](const Var& x) { return Sum(Mul(x, RowSum(x))); }, 3, 4,
+                 -1, 1, true},
+        GradCase{"colsum_product",
+                 [](const Var& x) { return Sum(Mul(x, ColSum(x))); }, 3, 4,
+                 -1, 1, true},
+        GradCase{"transpose_mix",
+                 [](const Var& x) {
+                   return Sum(MatMul(x, Transpose(x)));
+                 },
+                 3, 4, -1, 1, true},
+        GradCase{"at_entry",
+                 [](const Var& x) { return Mul(At(x, 1, 2), At(x, 0, 0)); },
+                 3, 4, -1, 1, true},
+        GradCase{"select_row",
+                 [](const Var& x) {
+                   return Sum(Mul(SelectRow(x, 1), SelectRow(x, 1)));
+                 },
+                 3, 4, -1, 1, true},
+        GradCase{"log_softmax_nll",
+                 [](const Var& x) { return NllRow(x, 1, 0); }, 3, 4, -2, 2,
+                 true},
+        GradCase{"softmax_entropy",
+                 [](const Var& x) {
+                   Var p = SoftmaxRows(x);
+                   return Neg(Sum(Mul(p, Log(p))));
+                 },
+                 2, 3, -2, 2, false},
+        GradCase{"quadratic_form", QuadraticForm, 2, 3, -1, 1, true},
+        GradCase{"sigmoid_mask_loss", SigmoidMaskLoss, 4, 4, -2, 2, true},
+        GradCase{"normalized_adjacency", NormalizedAdjacencyLoss, 4, 4, 0.1,
+                 0.9, true},
+        GradCase{"two_layer_gcn", TwoLayerGcnLoss, 4, 4, 0.1, 0.9, false},
+        GradCase{"unrolled_inner_loop", UnrolledInnerLoop, 3, 3, 0.1, 0.9,
+                 false}),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+// The hypergradient that GEAttack actually needs: d/dA of a readout of a
+// mask obtained by unrolled gradient descent, verified numerically.
+TEST(HypergradientTest, MatchesFiniteDifferences) {
+  Rng rng(123);
+  const int64_t n = 4;
+  Tensor a0 = rng.UniformTensor(n, n, 0.2, 0.8);
+  auto fn = [](const Var& a) { return UnrolledInnerLoop(a); };
+  ExpectGradientsMatch(fn, a0, 5e-5);
+}
+
+}  // namespace
+}  // namespace geattack

@@ -1,0 +1,168 @@
+// Unit tests for the Graph structure and GCN normalization.
+
+#include "src/graph/graph.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/autodiff.h"
+#include "src/tensor/random.h"
+#include "tests/test_util.h"
+
+namespace geattack {
+namespace {
+
+Graph PathGraph(int64_t n) {
+  Graph g(n);
+  for (int64_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(EdgeTest, CanonicalOrder) {
+  Edge e(5, 2);
+  EXPECT_EQ(e.u, 2);
+  EXPECT_EQ(e.v, 5);
+  EXPECT_EQ(e, Edge(2, 5));
+  EXPECT_LT(Edge(1, 2), Edge(1, 3));
+  EXPECT_LT(Edge(1, 9), Edge(2, 3));
+}
+
+TEST(GraphTest, AddRemoveEdge) {
+  Graph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));  // Duplicate (undirected).
+  EXPECT_FALSE(g.AddEdge(2, 2));  // Self loop rejected.
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g = PathGraph(4);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Neighbors(1).count(0), 1u);
+  EXPECT_EQ(g.Neighbors(1).count(2), 1u);
+}
+
+TEST(GraphTest, EdgesCanonical) {
+  Graph g = PathGraph(3);
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], Edge(0, 1));
+  EXPECT_EQ(edges[1], Edge(1, 2));
+}
+
+TEST(GraphTest, DenseAdjacencySymmetricZeroDiagonal) {
+  Graph g = PathGraph(5);
+  Tensor a = g.DenseAdjacency();
+  EXPECT_LE(a.MaxAbsDiff(a.Transposed()), 0.0);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a.at(i, i), 0.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 8.0);  // 4 edges * 2.
+}
+
+TEST(GraphTest, FromDenseRoundTrip) {
+  Rng rng(3);
+  Graph g(8);
+  for (int i = 0; i < 10; ++i)
+    g.AddEdge(rng.UniformInt(0, 7), rng.UniformInt(0, 7));
+  Graph h = Graph::FromDense(g.DenseAdjacency());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (int64_t u = 0; u < 8; ++u)
+    for (int64_t v = 0; v < 8; ++v)
+      EXPECT_EQ(g.HasEdge(u, v), h.HasEdge(u, v)) << u << "," << v;
+}
+
+TEST(GraphTest, KHopNeighborhood) {
+  Graph g = PathGraph(6);
+  auto one_hop = g.KHopNeighborhood(2, 1);
+  EXPECT_EQ(one_hop, (std::vector<int64_t>{1, 2, 3}));
+  auto two_hop = g.KHopNeighborhood(2, 2);
+  EXPECT_EQ(two_hop, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  auto zero_hop = g.KHopNeighborhood(2, 0);
+  EXPECT_EQ(zero_hop, (std::vector<int64_t>{2}));
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  auto comp = g.ConnectedComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(GraphTest, LargestConnectedComponent) {
+  Graph g(7);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);  // Component of size 4.
+  g.AddEdge(4, 5);  // Component of size 2; node 6 isolated.
+  std::vector<int64_t> mapping;
+  Graph lcc = g.LargestConnectedComponent(&mapping);
+  EXPECT_EQ(lcc.num_nodes(), 4);
+  EXPECT_EQ(lcc.num_edges(), 3);
+  EXPECT_EQ(mapping, (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(lcc.CheckInvariants());
+}
+
+TEST(GraphTest, CheckInvariantsHolds) {
+  Rng rng(5);
+  Graph g(30);
+  for (int i = 0; i < 60; ++i)
+    g.AddEdge(rng.UniformInt(0, 29), rng.UniformInt(0, 29));
+  EXPECT_TRUE(g.CheckInvariants());
+}
+
+TEST(NormalizeAdjacencyTest, SymmetricAndRowStructure) {
+  Graph g = PathGraph(4);
+  Tensor norm = NormalizeAdjacency(g.DenseAdjacency());
+  EXPECT_LE(norm.MaxAbsDiff(norm.Transposed()), 1e-12);
+  // Path graph: node 0 has degree 1 (+self = 2), node 1 degree 2 (+self = 3).
+  EXPECT_NEAR(norm.at(0, 0), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(norm.at(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(norm.at(1, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(NormalizeAdjacencyTest, IsolatedGraphGivesIdentity) {
+  Tensor a(3, 3);
+  Tensor norm = NormalizeAdjacency(a);
+  EXPECT_LE(norm.MaxAbsDiff(Tensor::Identity(3)), 1e-12);
+}
+
+TEST(NormalizeAdjacencyTest, VarMatchesTensorPath) {
+  Rng rng(9);
+  Tensor a = rng.UniformTensor(6, 6, 0, 1).Map(
+      [](double v) { return v > 0.6 ? 1.0 : 0.0; });
+  // Symmetrize, zero diagonal.
+  a = a.BroadcastBinary(a, [](double x, double) { return x; });
+  Tensor sym(6, 6);
+  for (int64_t i = 0; i < 6; ++i)
+    for (int64_t j = 0; j < 6; ++j)
+      sym.at(i, j) = i == j ? 0.0 : std::max(a.at(i, j), a.at(j, i));
+  Tensor fixed = NormalizeAdjacency(sym);
+  Var v = NormalizeAdjacencyVar(Constant(sym));
+  EXPECT_LE(v.value().MaxAbsDiff(fixed), 1e-12);
+}
+
+TEST(NormalizeAdjacencyTest, GradientMatchesFiniteDifferences) {
+  Rng rng(21);
+  Tensor a = rng.UniformTensor(5, 5, 0.1, 0.9);
+  auto fn = [&rng](const Var& adj) {
+    Rng local(77);
+    Var x = Constant(local.NormalTensor(adj.rows(), 3, 0, 1));
+    return Sum(Mul(MatMul(NormalizeAdjacencyVar(adj), x),
+                   MatMul(NormalizeAdjacencyVar(adj), x)));
+  };
+  geattack::testing::ExpectGradientsMatch(fn, a, 2e-5);
+}
+
+}  // namespace
+}  // namespace geattack

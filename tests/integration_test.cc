@@ -1,0 +1,100 @@
+// End-to-end integration tests: the full Table-1 protocol at miniature
+// scale, asserting the paper's qualitative orderings rather than absolute
+// numbers.
+
+#include <map>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/attack/fga.h"
+#include "src/attack/nettack.h"
+#include "src/attack/rna.h"
+#include "src/core/geattack.h"
+#include "src/eval/pipeline.h"
+#include "src/explain/gnn_explainer.h"
+#include "src/graph/datasets.h"
+#include "src/nn/trainer.h"
+
+namespace geattack {
+namespace {
+
+struct PipelineRun {
+  std::map<std::string, JointAttackOutcome> outcomes;
+  double test_accuracy = 0.0;
+};
+
+PipelineRun RunPipeline(uint64_t seed) {
+  PipelineRun run;
+  Rng rng(seed);
+  GraphData data = MakeDataset(DatasetId::kCiteseer, 0.1, &rng);
+  Split split = MakeSplit(data, 0.1, 0.1, &rng);
+  TrainResult tr;
+  Gcn model = TrainNewGcn(data, split, TrainConfig{}, &rng, &tr);
+  run.test_accuracy = tr.test_accuracy;
+  AttackContext ctx = MakeAttackContext(data, model);
+  auto nodes = SelectTargetNodes(data, tr.final_logits, split.test,
+                                 {.top_margin = 4, .bottom_margin = 4,
+                                  .random = 4},
+                                 &rng);
+  auto targets = PrepareTargets(ctx, nodes, &rng);
+  GnnExplainerConfig icfg;
+  icfg.epochs = 40;
+  GnnExplainer inspector(&model, &data.features, icfg);
+
+  std::vector<std::unique_ptr<TargetedAttack>> attackers;
+  attackers.push_back(std::make_unique<RandomAttack>());
+  attackers.push_back(std::make_unique<FgaAttack>(true));
+  attackers.push_back(std::make_unique<Nettack>());
+  attackers.push_back(std::make_unique<GeAttack>());
+  for (const auto& attacker : attackers) {
+    Rng eval_rng(seed * 3 + 1);
+    run.outcomes[attacker->name()] = EvaluateAttack(
+        ctx, *attacker, targets, inspector, EvalConfig{}, &eval_rng);
+  }
+  return run;
+}
+
+// Shared across assertions (expensive); built once.
+const PipelineRun& SharedRun() {
+  static const PipelineRun* run = new PipelineRun(RunPipeline(99));
+  return *run;
+}
+
+TEST(IntegrationTest, VictimModelIsCompetent) {
+  // The substrate premise: the GCN must be worth attacking.
+  EXPECT_GT(SharedRun().test_accuracy, 0.7);
+}
+
+TEST(IntegrationTest, TargetsWereEvaluated) {
+  for (const auto& [name, o] : SharedRun().outcomes)
+    EXPECT_GE(o.num_targets, 3) << name;
+}
+
+TEST(IntegrationTest, GradientAttacksBeatRandom) {
+  const auto& o = SharedRun().outcomes;
+  EXPECT_GE(o.at("FGA-T").asr_t + 1e-9, o.at("RNA").asr_t);
+  EXPECT_GE(o.at("GEAttack").asr_t + 1e-9, o.at("RNA").asr_t);
+}
+
+TEST(IntegrationTest, StrongAttackersSucceed) {
+  const auto& o = SharedRun().outcomes;
+  EXPECT_GE(o.at("FGA-T").asr_t, 0.75);
+  EXPECT_GE(o.at("GEAttack").asr_t, 0.75);
+  EXPECT_GE(o.at("Nettack").asr, 0.5);
+}
+
+TEST(IntegrationTest, ExplainerDetectsNonEvasiveAttacks) {
+  // The §3 premise at pipeline level: FGA-T's edges are visible.
+  EXPECT_GT(SharedRun().outcomes.at("FGA-T").detection.ndcg, 0.2);
+}
+
+TEST(IntegrationTest, GeAttackNoMoreDetectableThanFgaT) {
+  const auto& o = SharedRun().outcomes;
+  EXPECT_LE(o.at("GEAttack").detection.ndcg,
+            o.at("FGA-T").detection.ndcg + 1e-9);
+  EXPECT_LE(o.at("GEAttack").detection.f1,
+            o.at("FGA-T").detection.f1 + 1e-9);
+}
+
+}  // namespace
+}  // namespace geattack

@@ -1,0 +1,228 @@
+// Unit tests for the dense Tensor class.
+
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/tensor/random.h"
+
+namespace geattack {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t(3, 4, 2.5);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t[i], 2.5);
+}
+
+TEST(TensorTest, FromData) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 2);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 4);
+}
+
+TEST(TensorTest, ScalarFactoryAndAccessor) {
+  Tensor s = Tensor::Scalar(7.25);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 1);
+  EXPECT_DOUBLE_EQ(s.scalar(), 7.25);
+}
+
+TEST(TensorTest, Identity) {
+  Tensor eye = Tensor::Identity(3);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(eye.at(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(TensorTest, OneHotRow) {
+  Tensor h = Tensor::OneHotRow(4, 2);
+  EXPECT_DOUBLE_EQ(h.at(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1.0);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  Tensor b(2, 2, {5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ((a + b).at(1, 1), 12);
+  EXPECT_DOUBLE_EQ((b - a).at(0, 0), 4);
+  EXPECT_DOUBLE_EQ((a * b).at(0, 1), 12);
+  EXPECT_DOUBLE_EQ((b / a).at(1, 0), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ((-a).at(0, 0), -1);
+}
+
+TEST(TensorTest, CompoundAssign) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {1, 1, 1});
+  a += b;
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 4);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 3);
+}
+
+TEST(TensorTest, ScalarOps) {
+  Tensor a(1, 2, {1, 2});
+  EXPECT_DOUBLE_EQ(a.AddScalar(10).at(0, 1), 12);
+  EXPECT_DOUBLE_EQ(a.MulScalar(3).at(0, 0), 3);
+}
+
+TEST(TensorTest, MatMul) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(TensorTest, MatMulIdentity) {
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(5, 5, 0, 1);
+  EXPECT_LE(a.MatMul(Tensor::Identity(5)).MaxAbsDiff(a), 1e-12);
+  EXPECT_LE(Tensor::Identity(5).MatMul(a).MaxAbsDiff(a), 1e-12);
+}
+
+TEST(TensorTest, Transpose) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6);
+  EXPECT_LE(t.Transposed().MaxAbsDiff(a), 1e-15);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(a.Sum(), 21);
+  EXPECT_DOUBLE_EQ(a.Max(), 6);
+  EXPECT_DOUBLE_EQ(a.Min(), 1);
+  Tensor rs = a.RowSum();
+  EXPECT_DOUBLE_EQ(rs.at(0, 0), 6);
+  EXPECT_DOUBLE_EQ(rs.at(1, 0), 15);
+  Tensor cs = a.ColSum();
+  EXPECT_DOUBLE_EQ(cs.at(0, 0), 5);
+  EXPECT_DOUBLE_EQ(cs.at(0, 2), 9);
+  Tensor rm = a.RowMax();
+  EXPECT_DOUBLE_EQ(rm.at(0, 0), 3);
+  EXPECT_DOUBLE_EQ(rm.at(1, 0), 6);
+  EXPECT_EQ(a.ArgMaxRow(0), 2);
+}
+
+TEST(TensorTest, SigmoidBounds) {
+  Tensor a(1, 3, {-1000, 0, 1000});
+  Tensor s = a.Sigmoid();
+  EXPECT_NEAR(s.at(0, 0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 0.5);
+  EXPECT_NEAR(s.at(0, 2), 1.0, 1e-12);
+  EXPECT_TRUE(s.AllFinite());
+}
+
+TEST(TensorTest, ReluExpLogPow) {
+  Tensor a(1, 4, {-2, -0.5, 0.5, 2});
+  Tensor r = a.Relu();
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 0);
+  EXPECT_DOUBLE_EQ(r.at(0, 3), 2);
+  EXPECT_NEAR(a.Exp().at(0, 3), std::exp(2.0), 1e-12);
+  Tensor pos(1, 2, {1.0, std::exp(1.0)});
+  EXPECT_NEAR(pos.Log().at(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(a.Pow(2).at(0, 0), 4.0, 1e-12);
+}
+
+TEST(TensorTest, BroadcastCompatible) {
+  Tensor a(3, 4);
+  EXPECT_TRUE(a.BroadcastCompatible(Tensor(3, 4)));
+  EXPECT_TRUE(a.BroadcastCompatible(Tensor(3, 1)));
+  EXPECT_TRUE(a.BroadcastCompatible(Tensor(1, 4)));
+  EXPECT_TRUE(a.BroadcastCompatible(Tensor(1, 1)));
+  EXPECT_FALSE(a.BroadcastCompatible(Tensor(4, 3)));
+  EXPECT_FALSE(a.BroadcastCompatible(Tensor(2, 4)));
+}
+
+TEST(TensorTest, BroadcastBinaryColumnVector) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor col(2, 1, {10, 100});
+  Tensor r = a.BroadcastBinary(col, [](double x, double y) { return x + y; });
+  EXPECT_DOUBLE_EQ(r.at(0, 2), 13);
+  EXPECT_DOUBLE_EQ(r.at(1, 0), 104);
+}
+
+TEST(TensorTest, BroadcastBinaryRowVector) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor row(1, 3, {10, 20, 30});
+  Tensor r = a.BroadcastBinary(row, [](double x, double y) { return x * y; });
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 10);
+  EXPECT_DOUBLE_EQ(r.at(1, 2), 180);
+}
+
+TEST(TensorTest, FillDiagonalAndRow) {
+  Tensor a = Tensor::Ones(3, 3);
+  a.FillDiagonal(0.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 6.0);
+  Tensor r = a.Row(1);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 1.0);
+}
+
+TEST(TensorTest, NormAndFinite) {
+  Tensor a(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_TRUE(a.AllFinite());
+  Tensor bad(1, 1, {std::numeric_limits<double>::infinity()});
+  EXPECT_FALSE(bad.AllFinite());
+}
+
+TEST(TensorTest, DebugString) {
+  Tensor a(1, 2, {1, 2});
+  EXPECT_EQ(a.ShapeString(), "Tensor(1x2)");
+  EXPECT_NE(a.DebugString().find("1, 2"), std::string::npos);
+}
+
+TEST(RngTest, Determinism) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LT(v, 3);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(3);
+  auto idx = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(idx.size(), 20u);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_TRUE(std::adjacent_find(idx.begin(), idx.end()) == idx.end());
+  for (auto i : idx) EXPECT_TRUE(i >= 0 && i < 50);
+}
+
+TEST(RngTest, SampleWeightedRespectsZeros) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.SampleWeighted(w), 1);
+}
+
+TEST(RngTest, GlorotWithinLimit) {
+  Rng rng(9);
+  Tensor w = rng.GlorotTensor(30, 20);
+  const double limit = std::sqrt(6.0 / 50.0);
+  EXPECT_LE(w.Max(), limit);
+  EXPECT_GE(w.Min(), -limit);
+}
+
+}  // namespace
+}  // namespace geattack

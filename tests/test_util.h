@@ -1,0 +1,79 @@
+// Shared helpers for the test suites: finite-difference gradient checking
+// against the autodiff engine, including second-order checks.
+
+#ifndef GEATTACK_TESTS_TEST_UTIL_H_
+#define GEATTACK_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+
+#include "gtest/gtest.h"
+#include "src/tensor/autodiff.h"
+#include "src/tensor/tensor.h"
+
+namespace geattack {
+namespace testing {
+
+/// A scalar-valued function of a single tensor input, expressed on the
+/// autodiff graph.  The function must return a (1,1) Var.
+using ScalarFn = std::function<Var(const Var&)>;
+
+/// Central-difference numerical gradient of `fn` at `x`.
+inline Tensor NumericalGradient(const ScalarFn& fn, const Tensor& x,
+                                double eps = 1e-5) {
+  Tensor g(x.rows(), x.cols());
+  Tensor xp = x;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const double orig = xp[i];
+    xp[i] = orig + eps;
+    const double fplus = fn(Var::Leaf(xp)).value().scalar();
+    xp[i] = orig - eps;
+    const double fminus = fn(Var::Leaf(xp)).value().scalar();
+    xp[i] = orig;
+    g[i] = (fplus - fminus) / (2.0 * eps);
+  }
+  return g;
+}
+
+/// Asserts that the autodiff gradient of `fn` at `x` matches central
+/// differences within `tol` (absolute, on the max-norm).
+inline void ExpectGradientsMatch(const ScalarFn& fn, const Tensor& x,
+                                 double tol = 1e-6, double eps = 1e-5) {
+  Var xv = Var::Leaf(x, /*requires_grad=*/true, "x");
+  Var y = fn(xv);
+  ASSERT_EQ(y.rows(), 1);
+  ASSERT_EQ(y.cols(), 1);
+  Tensor analytic = GradOne(y, xv).value();
+  Tensor numeric = NumericalGradient(fn, x, eps);
+  EXPECT_LE(analytic.MaxAbsDiff(numeric), tol)
+      << "analytic=" << analytic.DebugString()
+      << "\nnumeric=" << numeric.DebugString();
+}
+
+/// Asserts that a *second-order* quantity matches finite differences: checks
+/// d/dx [sum(grad fn(x))] against central differences of sum(grad fn(x)).
+inline void ExpectSecondOrderMatch(const ScalarFn& fn, const Tensor& x,
+                                   double tol = 1e-5, double eps = 1e-5) {
+  auto grad_sum = [&fn](const Var& v) -> Var {
+    Var y = fn(v);
+    Var g = GradOne(y, v, {.create_graph = true});
+    return Sum(g);
+  };
+  Var xv = Var::Leaf(x, /*requires_grad=*/true, "x");
+  Var s = grad_sum(xv);
+  Tensor analytic = GradOne(s, xv).value();
+  auto scalar_grad_sum = [&](const Var& v) -> Var {
+    // Re-wrap with requires_grad so the inner Grad works on copies.
+    Var leaf = Var::Leaf(v.value(), /*requires_grad=*/true);
+    return grad_sum(leaf);
+  };
+  Tensor numeric = NumericalGradient(scalar_grad_sum, x, eps);
+  EXPECT_LE(analytic.MaxAbsDiff(numeric), tol)
+      << "analytic=" << analytic.DebugString()
+      << "\nnumeric=" << numeric.DebugString();
+}
+
+}  // namespace testing
+}  // namespace geattack
+
+#endif  // GEATTACK_TESTS_TEST_UTIL_H_
