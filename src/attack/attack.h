@@ -26,6 +26,10 @@ struct AttackContext {
   const GraphData* data = nullptr;  ///< Clean attributed graph.
   const Gcn* model = nullptr;       ///< Trained victim (fixed, evasion).
   Tensor clean_adjacency;           ///< Dense adjacency of the clean graph.
+  CsrMatrix clean_csr;              ///< The same adjacency in CSR form; the
+                                    ///< sparse eval path patches it with
+                                    ///< ApplyEdgeFlips instead of
+                                    ///< re-densifying per target.
 };
 
 /// One attack query.

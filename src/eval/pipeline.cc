@@ -41,9 +41,19 @@ std::vector<int64_t> SelectTargetNodes(const GraphData& data,
   return {chosen.begin(), chosen.end()};
 }
 
+Tensor PerturbedLogits(const AttackContext& ctx, const AttackResult& result,
+                       bool sparse) {
+  if (!sparse) {
+    return ctx.model->LogitsFromRaw(result.adjacency, ctx.data->features);
+  }
+  const CsrMatrix perturbed =
+      ApplyEdgeFlips(ctx.clean_csr, result.added_edges, /*removed=*/{});
+  return ctx.model->Logits(GcnNormalizeCsr(perturbed), ctx.data->features);
+}
+
 std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
                                            const std::vector<int64_t>& nodes,
-                                           Rng* rng) {
+                                           Rng* rng, bool sparse) {
   GEA_CHECK(rng != nullptr);
   const FgaAttack fga(/*targeted=*/false);
   std::vector<PreparedTarget> prepared;
@@ -58,8 +68,7 @@ std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
     request.target_label = -1;
     request.budget = t.budget;
     const AttackResult probe = fga.Attack(ctx, request, rng);
-    const Tensor logits =
-        ctx.model->LogitsFromRaw(probe.adjacency, ctx.data->features);
+    const Tensor logits = PerturbedLogits(ctx, probe, sparse);
     const int64_t flipped = logits.ArgMaxRow(node);
     if (flipped == t.true_label) continue;  // FGA failed; drop (§5.1).
     t.target_label = flipped;
@@ -84,8 +93,7 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
     request.budget = t.budget;
     const AttackResult result = attack.Attack(ctx, request, rng);
 
-    const Tensor logits =
-        ctx.model->LogitsFromRaw(result.adjacency, ctx.data->features);
+    const Tensor logits = PerturbedLogits(ctx, result, eval_config.sparse);
     const int64_t predicted = logits.ArgMaxRow(t.node);
     asr.Add(predicted != t.true_label ? 1.0 : 0.0);
     asr_t.Add(predicted == t.target_label ? 1.0 : 0.0);
@@ -118,6 +126,7 @@ AttackContext MakeAttackContext(const GraphData& data, const Gcn& model) {
   ctx.data = &data;
   ctx.model = &model;
   ctx.clean_adjacency = data.graph.DenseAdjacency();
+  ctx.clean_csr = data.graph.CsrAdjacency();
   return ctx;
 }
 

@@ -52,10 +52,18 @@ struct PreparedTarget {
 };
 
 /// Assigns target labels by running untargeted FGA per node (§5.1); nodes
-/// that FGA fails to flip are excluded.
+/// that FGA fails to flip are excluded.  With `sparse`, post-attack logits
+/// are computed on the O(|E|) CSR path.
 std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
                                            const std::vector<int64_t>& nodes,
-                                           Rng* rng);
+                                           Rng* rng, bool sparse = false);
+
+/// Victim logits on an attack's perturbed graph.  Dense mode normalizes and
+/// multiplies the n x n adjacency (O(n²·h)); sparse mode applies
+/// `result.added_edges` to the clean CSR adjacency incrementally and runs
+/// the SpMM forward (O(|E|·h)).  Both agree to floating-point roundoff.
+Tensor PerturbedLogits(const AttackContext& ctx, const AttackResult& result,
+                       bool sparse);
 
 /// Aggregated outcome of one attacker over a set of prepared targets.
 struct JointAttackOutcome {
@@ -69,6 +77,8 @@ struct JointAttackOutcome {
 struct EvalConfig {
   int64_t subgraph_size = 20;  ///< L.
   int64_t k = 15;              ///< K.
+  /// Compute post-attack victim logits on the sparse CSR path.
+  bool sparse = false;
 };
 
 /// Runs `attack` on every prepared target and inspects each perturbed graph

@@ -41,6 +41,15 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
   for (int64_t k = 0; k < c; ++k)
     for (int64_t i : nodes_of_class[k]) weight_of_class[k].push_back(propensity[i]);
 
+  // Prefix-sum samplers: O(log n) per draw instead of a linear scan, which
+  // is what makes multi-10k-node generation (the sparse-path benchmarks)
+  // affordable.  Each Sample consumes exactly one uniform draw, like
+  // Rng::SampleWeighted, so seeded graphs are unchanged.
+  const WeightedSampler propensity_sampler(propensity);
+  std::vector<WeightedSampler> class_samplers;
+  class_samplers.reserve(static_cast<size_t>(c));
+  for (int64_t k = 0; k < c; ++k) class_samplers.emplace_back(weight_of_class[k]);
+
   Graph graph(n);
   // Sample edges: pick endpoint u by propensity; pick v same-class with
   // probability `homophily`, otherwise from a different class.  Retry on
@@ -49,7 +58,7 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
   const int64_t max_attempts = config.num_edges * 50;
   while (graph.num_edges() < config.num_edges && attempts < max_attempts) {
     ++attempts;
-    const int64_t u = rng->SampleWeighted(propensity);
+    const int64_t u = propensity_sampler.Sample(rng);
     int64_t target_class;
     if (rng->Bernoulli(config.homophily)) {
       target_class = labels[u];
@@ -58,7 +67,7 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
       if (target_class == labels[u]) target_class = (target_class + 1) % c;
     }
     const auto& bucket = nodes_of_class[target_class];
-    const int64_t v = bucket[rng->SampleWeighted(weight_of_class[target_class])];
+    const int64_t v = bucket[class_samplers[target_class].Sample(rng)];
     if (u == v) continue;
     graph.AddEdge(u, v);
   }

@@ -73,6 +73,22 @@ Tensor Graph::DenseAdjacency() const {
   return a;
 }
 
+CsrMatrix Graph::CsrAdjacency() const {
+  const int64_t n = num_nodes();
+  auto pattern = std::make_shared<CsrPattern>();
+  pattern->rows = pattern->cols = n;
+  pattern->row_ptr.reserve(static_cast<size_t>(n) + 1);
+  pattern->row_ptr.push_back(0);
+  pattern->col_idx.reserve(static_cast<size_t>(2 * num_edges_));
+  for (int64_t u = 0; u < n; ++u) {
+    pattern->col_idx.insert(pattern->col_idx.end(), adj_[u].begin(),
+                            adj_[u].end());
+    pattern->row_ptr.push_back(static_cast<int64_t>(pattern->col_idx.size()));
+  }
+  std::vector<double> values(pattern->col_idx.size(), 1.0);
+  return CsrMatrix(std::move(pattern), std::move(values));
+}
+
 std::vector<int64_t> Graph::KHopNeighborhood(int64_t center, int hops) const {
   GEA_CHECK(center >= 0 && center < num_nodes());
   std::vector<int64_t> dist(static_cast<size_t>(num_nodes()), -1);
@@ -184,6 +200,77 @@ Var NormalizeAdjacencyVar(const Var& adjacency) {
   Var deg = RowSum(self);         // (n,1); >= 1 thanks to the self loop.
   Var dinv = Pow(deg, -0.5);      // (n,1).
   return Mul(Mul(self, dinv), Transpose(dinv));
+}
+
+CsrMatrix NormalizeAdjacencyCsr(const Graph& graph) {
+  return GcnNormalizeCsr(graph.CsrAdjacency());
+}
+
+CsrMatrix ApplyEdgeFlips(const CsrMatrix& adjacency,
+                         const std::vector<Edge>& added,
+                         const std::vector<Edge>& removed) {
+  GEA_CHECK(!adjacency.empty());
+  GEA_CHECK(adjacency.rows() == adjacency.cols());
+  const CsrPattern& p = *adjacency.pattern();
+  const int64_t n = p.rows;
+
+  // Expand the undirected flips into per-row sorted directed entry lists.
+  auto expand = [n](const std::vector<Edge>& edges) {
+    std::vector<std::pair<int64_t, int64_t>> dir;
+    dir.reserve(edges.size() * 2);
+    for (const Edge& e : edges) {
+      GEA_CHECK(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n && e.u != e.v);
+      dir.emplace_back(e.u, e.v);
+      dir.emplace_back(e.v, e.u);
+    }
+    std::sort(dir.begin(), dir.end());
+    // A repeated undirected edge would silently emit duplicate CSR columns.
+    GEA_CHECK(std::adjacent_find(dir.begin(), dir.end()) == dir.end());
+    return dir;
+  };
+  const auto add_dir = expand(added);
+  const auto rem_dir = expand(removed);
+
+  auto out = std::make_shared<CsrPattern>();
+  out->rows = out->cols = n;
+  out->row_ptr.reserve(static_cast<size_t>(n) + 1);
+  out->row_ptr.push_back(0);
+  out->col_idx.reserve(p.col_idx.size() + add_dir.size());
+  std::vector<double> values;
+  values.reserve(p.col_idx.size() + add_dir.size());
+
+  size_t ai = 0, ri = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t e = p.row_ptr[i];
+    const int64_t e_end = p.row_ptr[i + 1];
+    // Merge the existing row with this row's additions; drop removals.
+    while (e < e_end || (ai < add_dir.size() && add_dir[ai].first == i)) {
+      const bool take_add =
+          ai < add_dir.size() && add_dir[ai].first == i &&
+          (e >= e_end || add_dir[ai].second < p.col_idx[e]);
+      if (take_add) {
+        out->col_idx.push_back(add_dir[ai].second);
+        values.push_back(1.0);
+        ++ai;
+        continue;
+      }
+      const int64_t j = p.col_idx[e];
+      GEA_CHECK(!(ai < add_dir.size() && add_dir[ai].first == i &&
+                  add_dir[ai].second == j));  // Added edge already present.
+      if (ri < rem_dir.size() && rem_dir[ri].first == i &&
+          rem_dir[ri].second == j) {
+        ++ri;  // Removed: skip the entry.
+      } else {
+        out->col_idx.push_back(j);
+        values.push_back(adjacency.values()[static_cast<size_t>(e)]);
+      }
+      ++e;
+    }
+    out->row_ptr.push_back(static_cast<int64_t>(out->col_idx.size()));
+  }
+  GEA_CHECK(ai == add_dir.size());  // Every addition landed in some row.
+  GEA_CHECK(ri == rem_dir.size());  // Every removal matched an entry.
+  return CsrMatrix(std::move(out), std::move(values));
 }
 
 }  // namespace geattack

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/tensor/autodiff.h"
+#include "src/tensor/csr.h"
 #include "src/tensor/tensor.h"
 
 namespace geattack {
@@ -62,6 +63,10 @@ class Graph {
   /// Dense symmetric adjacency matrix with zero diagonal.
   Tensor DenseAdjacency() const;
 
+  /// Sparse CSR adjacency (symmetric, zero diagonal, all stored values 1.0).
+  /// O(n + |E|); the adjacency sets are already sorted so no sort is needed.
+  CsrMatrix CsrAdjacency() const;
+
   /// Nodes within `hops` hops of `center` (including it) — the GCN
   /// computation graph that explainers operate on.
   std::vector<int64_t> KHopNeighborhood(int64_t center, int hops) const;
@@ -91,6 +96,20 @@ Tensor NormalizeAdjacency(const Tensor& adjacency);
 /// attacking (gradients w.r.t. the adjacency) and when explaining
 /// (gradients w.r.t. the mask).
 Var NormalizeAdjacencyVar(const Var& adjacency);
+
+/// Sparse twin of NormalizeAdjacency: Ã in CSR form, built in O(n + |E|)
+/// without ever materializing a dense matrix.  The fast path for training
+/// and inference on large graphs.
+CsrMatrix NormalizeAdjacencyCsr(const Graph& graph);
+
+/// Applies a set of undirected edge flips to a symmetric CSR adjacency in a
+/// single merge pass, O(nnz + k·log k + n) for k flips — the incremental
+/// update attack loops use instead of rebuilding from the Graph.  Edges in
+/// `added` are written symmetrically with value 1.0 (must be absent from
+/// `adjacency`); edges in `removed` are deleted (must be present).
+CsrMatrix ApplyEdgeFlips(const CsrMatrix& adjacency,
+                         const std::vector<Edge>& added,
+                         const std::vector<Edge>& removed);
 
 /// Attributed graph with node labels: the unit of work for every
 /// experiment.  `labels[i]` in [0, num_classes).

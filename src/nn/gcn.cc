@@ -17,13 +17,27 @@ Tensor Gcn::Logits(const Tensor& norm_adj, const Tensor& features) const {
   return norm_adj.MatMul(h.MatMul(w2_));
 }
 
+Tensor Gcn::Logits(const CsrMatrix& norm_adj, const Tensor& features) const {
+  Tensor h = norm_adj.SpMM(features.MatMul(w1_)).Relu();
+  return norm_adj.SpMM(h.MatMul(w2_));
+}
+
 Tensor Gcn::LogitsFromRaw(const Tensor& adjacency,
                           const Tensor& features) const {
   return Logits(NormalizeAdjacency(adjacency), features);
 }
 
+Tensor Gcn::LogitsFromGraph(const Graph& graph,
+                            const Tensor& features) const {
+  return Logits(NormalizeAdjacencyCsr(graph), features);
+}
+
 Tensor Gcn::Hidden(const Tensor& norm_adj, const Tensor& features) const {
   return norm_adj.MatMul(features.MatMul(w1_)).Relu();
+}
+
+Tensor Gcn::Hidden(const CsrMatrix& norm_adj, const Tensor& features) const {
+  return norm_adj.SpMM(features.MatMul(w1_)).Relu();
 }
 
 GcnForwardContext MakeForwardContext(const Gcn& model,

@@ -47,12 +47,23 @@ class Gcn {
   /// Logits (pre-softmax) given an already-normalized adjacency.
   Tensor Logits(const Tensor& norm_adj, const Tensor& features) const;
 
+  /// Sparse forward: logits given an already-normalized CSR adjacency.
+  /// O(|E|·h) instead of O(n²·h) — the production inference path.
+  Tensor Logits(const CsrMatrix& norm_adj, const Tensor& features) const;
+
   /// Logits given a raw 0/1 adjacency (normalizes internally).
   Tensor LogitsFromRaw(const Tensor& adjacency, const Tensor& features) const;
+
+  /// Logits for `graph` via the sparse path (normalizes in CSR; never
+  /// materializes a dense matrix).
+  Tensor LogitsFromGraph(const Graph& graph, const Tensor& features) const;
 
   /// Post-ReLU first-layer representations (used by PGExplainer's edge
   /// embedder).
   Tensor Hidden(const Tensor& norm_adj, const Tensor& features) const;
+
+  /// Sparse twin of Hidden.
+  Tensor Hidden(const CsrMatrix& norm_adj, const Tensor& features) const;
 
  private:
   GcnConfig config_;

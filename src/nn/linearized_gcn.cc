@@ -20,6 +20,33 @@ Tensor LinearizedGcn::Logits(const Tensor& adjacency) const {
   return norm.MatMul(norm.MatMul(xw_));
 }
 
+Tensor LinearizedGcn::LogitsFromNormalized(const CsrMatrix& norm_adj) const {
+  return norm_adj.SpMM(norm_adj.SpMM(xw_));
+}
+
+Tensor LinearizedGcn::LogitsRowFromNormalized(const CsrMatrix& norm_adj,
+                                              int64_t node) const {
+  GEA_CHECK(node >= 0 && node < norm_adj.rows());
+  const CsrPattern& p = *norm_adj.pattern();
+  const std::vector<double>& v = norm_adj.values();
+  // Two-hop row: row2 = Ã_node,: · Ã, accumulated sparsely.
+  std::vector<double> row2(static_cast<size_t>(norm_adj.cols()), 0.0);
+  for (int64_t e = p.row_ptr[node]; e < p.row_ptr[node + 1]; ++e) {
+    const int64_t j = p.col_idx[e];
+    const double w = v[static_cast<size_t>(e)];
+    for (int64_t f = p.row_ptr[j]; f < p.row_ptr[j + 1]; ++f)
+      row2[static_cast<size_t>(p.col_idx[f])] += w * v[static_cast<size_t>(f)];
+  }
+  Tensor out(1, xw_.cols());
+  for (int64_t k = 0; k < norm_adj.cols(); ++k) {
+    const double w = row2[static_cast<size_t>(k)];
+    if (w == 0.0) continue;
+    for (int64_t c = 0; c < xw_.cols(); ++c)
+      out.at(0, c) += w * xw_.at(k, c);
+  }
+  return out;
+}
+
 namespace {
 
 std::vector<int64_t> AllDegrees(const Graph& g) {

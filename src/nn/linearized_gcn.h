@@ -31,6 +31,17 @@ class LinearizedGcn {
   /// Full surrogate logits, O(n²·c).
   Tensor Logits(const Tensor& adjacency) const;
 
+  /// Sparse surrogate logits: Ã·(Ã·XW), O(|E|·c).  Unlike the dense
+  /// overloads above, these take an *already-normalized* CSR adjacency —
+  /// the "FromNormalized" names make the differing precondition explicit —
+  /// so one NormalizeAdjacencyCsr can be amortized over many calls.
+  Tensor LogitsFromNormalized(const CsrMatrix& norm_adj) const;
+
+  /// Sparse surrogate logits row: expands the two-hop neighborhood of
+  /// `node` through the CSR rows, O(Σ_{j∈N(node)} deg(j) + n·c).
+  Tensor LogitsRowFromNormalized(const CsrMatrix& norm_adj,
+                                 int64_t node) const;
+
   int64_t num_classes() const { return xw_.cols(); }
 
  private:

@@ -6,9 +6,24 @@ TrainResult TrainGcn(const GraphData& data, const Split& split,
                      const TrainConfig& config, Gcn* model) {
   GEA_CHECK(model != nullptr);
   GEA_CHECK(!split.train.empty());
-  const Tensor norm_adj = NormalizeAdjacency(data.graph.DenseAdjacency());
-  const Var norm_adj_v = Constant(norm_adj, "norm_adj");
+  // Sparse path: normalized adjacency in CSR, epochs cost O(|E|·h).  The
+  // dense adjacency is only ever materialized on the dense path, so sparse
+  // training works on graphs where an n x n Tensor would not even allocate.
+  const auto norm_csr =
+      config.use_sparse ? std::make_shared<const CsrMatrix>(
+                              NormalizeAdjacencyCsr(data.graph))
+                        : nullptr;
+  const Tensor norm_adj =
+      config.use_sparse ? Tensor()
+                        : NormalizeAdjacency(data.graph.DenseAdjacency());
+  const Var norm_adj_v =
+      config.use_sparse ? Var() : Constant(norm_adj, "norm_adj");
   const Var x = Constant(data.features, "X");
+  auto propagate = [&](const Var& h) {
+    // The normalized adjacency is symmetric: its backward reuses norm_csr.
+    return config.use_sparse ? SpMM(norm_csr, h, /*a_symmetric=*/true)
+                             : MatMul(norm_adj_v, h);
+  };
 
   AdamConfig adam_cfg;
   adam_cfg.lr = config.lr;
@@ -26,8 +41,8 @@ TrainResult TrainGcn(const GraphData& data, const Split& split,
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     Var w1 = Var::Leaf(model->w1(), /*requires_grad=*/true, "w1");
     Var w2 = Var::Leaf(model->w2(), /*requires_grad=*/true, "w2");
-    Var h = Relu(MatMul(norm_adj_v, MatMul(x, w1)));
-    Var logits = MatMul(norm_adj_v, MatMul(h, w2));
+    Var h = Relu(propagate(MatMul(x, w1)));
+    Var logits = propagate(MatMul(h, w2));
     Var loss = CrossEntropyRows(logits, split.train, data.labels);
     auto grads = Grad(loss, {w1, w2});
     adam.Step({grads[0].value(), grads[1].value()});
@@ -49,7 +64,9 @@ TrainResult TrainGcn(const GraphData& data, const Split& split,
 
   model->mutable_w1() = best_w1;
   model->mutable_w2() = best_w2;
-  result.final_logits = model->Logits(norm_adj, data.features);
+  result.final_logits = config.use_sparse
+                            ? model->Logits(*norm_csr, data.features)
+                            : model->Logits(norm_adj, data.features);
   result.train_accuracy = Accuracy(result.final_logits, data.labels, split.train);
   result.val_accuracy = split.val.empty()
                             ? result.train_accuracy

@@ -20,6 +20,9 @@ struct TrainConfig {
   int64_t hidden_dim = 16;
   /// Early stopping patience on validation accuracy; 0 disables.
   int64_t patience = 50;
+  /// Use the sparse CSR forward (O(|E|·h) per epoch).  The dense path is
+  /// kept for comparison benchmarks; both compute the same math.
+  bool use_sparse = true;
 };
 
 /// Result of TrainGcn.

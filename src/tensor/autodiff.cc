@@ -342,6 +342,105 @@ Var GatherEdges(const Var& a, const std::vector<IndexPair>& pairs) {
       "gather_edges");
 }
 
+Var SpMM(std::shared_ptr<const CsrMatrix> a, const Var& b, bool a_symmetric) {
+  GEA_CHECK(b.defined());
+  GEA_CHECK(a != nullptr && !a->empty());
+  // Precompute Aᵀ for the backward only when a gradient will flow; a
+  // symmetric operand is its own transpose, so epoch loops over a fixed
+  // normalized adjacency never materialize one.
+  std::shared_ptr<const CsrMatrix> at;
+  if (b.requires_grad())
+    at = a_symmetric ? a : std::make_shared<CsrMatrix>(a->Transposed());
+  return MakeOp(
+      a->SpMM(b.value()), {b},
+      [at, a_symmetric](const Var& g) -> std::vector<Var> {
+        return {SpMM(at, g, a_symmetric)};
+      },
+      "spmm");
+}
+
+Var SpMM(const CsrMatrix& a, const Var& b) {
+  return SpMM(std::make_shared<CsrMatrix>(a), b);
+}
+
+Var SpMMValues(std::shared_ptr<const CsrPattern> pattern, const Var& values,
+               const Var& b) {
+  GEA_CHECK(pattern != nullptr);
+  GEA_CHECK(values.defined() && b.defined());
+  GEA_CHECK(values.cols() == 1 && values.rows() == pattern->nnz());
+  Tensor out = SpmmRaw(*pattern, values.value().data(), b.value());
+  return MakeOp(
+      std::move(out), {values, b},
+      [pattern, values, b](const Var& g) -> std::vector<Var> {
+        const CsrTranspose& t = pattern->Transpose();  // Cached after 1st.
+        auto perm = std::shared_ptr<const std::vector<int64_t>>(
+            pattern, &t.src_index);
+        Var grad_values = SpmmValueGrad(pattern, g, b);
+        Var grad_b = SpMMValues(t.pattern, PermuteRows(values, perm), g);
+        return {grad_values, grad_b};
+      },
+      "spmm_values");
+}
+
+Var SpmmValueGrad(std::shared_ptr<const CsrPattern> pattern, const Var& g,
+                  const Var& b) {
+  GEA_CHECK(pattern != nullptr);
+  GEA_CHECK(g.defined() && b.defined());
+  GEA_CHECK(g.rows() == pattern->rows && b.rows() == pattern->cols);
+  GEA_CHECK(g.cols() == b.cols());
+  const int64_t k = g.cols();
+  Tensor out(pattern->nnz(), 1);
+  const double* gd = g.value().data().data();
+  const double* bd = b.value().data().data();
+  double* o = out.mutable_data().data();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64)
+#endif
+  for (int64_t i = 0; i < pattern->rows; ++i) {
+    const double* grow = gd + i * k;
+    for (int64_t e = pattern->row_ptr[i]; e < pattern->row_ptr[i + 1]; ++e) {
+      const double* brow = bd + pattern->col_idx[e] * k;
+      double s = 0.0;
+      for (int64_t j = 0; j < k; ++j) s += grow[j] * brow[j];
+      o[e] = s;
+    }
+  }
+  return MakeOp(
+      std::move(out), {g, b},
+      [pattern, g, b](const Var& u) -> std::vector<Var> {
+        const CsrTranspose& t = pattern->Transpose();  // Cached after 1st.
+        auto perm = std::shared_ptr<const std::vector<int64_t>>(
+            pattern, &t.src_index);
+        Var grad_g = SpMMValues(pattern, u, b);
+        Var grad_b = SpMMValues(t.pattern, PermuteRows(u, perm), g);
+        return {grad_g, grad_b};
+      },
+      "spmm_value_grad");
+}
+
+Var PermuteRows(const Var& a,
+                std::shared_ptr<const std::vector<int64_t>> perm) {
+  GEA_CHECK(a.defined());
+  GEA_CHECK(perm != nullptr);
+  const int64_t m = a.rows();
+  GEA_CHECK(a.cols() == 1);
+  GEA_CHECK(static_cast<int64_t>(perm->size()) == m);
+  Tensor out(m, 1);
+  auto inverse = std::make_shared<std::vector<int64_t>>(perm->size());
+  for (int64_t i = 0; i < m; ++i) {
+    const int64_t src = (*perm)[static_cast<size_t>(i)];
+    GEA_CHECK(src >= 0 && src < m);
+    out[i] = a.value()[src];
+    (*inverse)[static_cast<size_t>(src)] = i;
+  }
+  return MakeOp(
+      std::move(out), {a},
+      [inverse](const Var& g) -> std::vector<Var> {
+        return {PermuteRows(g, inverse)};
+      },
+      "permute_rows");
+}
+
 namespace {
 
 /// Internal: embeds `a` into a zero matrix with `total_cols` columns at

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/csr.h"
 #include "src/tensor/tensor.h"
 
 namespace geattack {
@@ -167,6 +168,38 @@ Var ScatterEdges(const Var& values, const std::vector<IndexPair>& pairs,
 /// Gathers a[u_e, v_e] + a[v_e, u_e] per pair into an (m,1) vector — the
 /// adjoint of ScatterEdges.
 Var GatherEdges(const Var& a, const std::vector<IndexPair>& pairs);
+
+// ----- Sparse (CSR) kernels. --------------------------------------------------
+
+/// Sparse × dense product with a *constant* CSR left operand: A·b.  The
+/// gradient flows into `b` only (d/db = Aᵀ·g); use SpMMValues when the
+/// sparse entries themselves need gradients.  This is the O(|E|·k) training
+/// and inference kernel.  With `a_symmetric` (e.g. the GCN-normalized
+/// adjacency) the backward reuses `a` itself — no transpose is ever built,
+/// which matters in epoch loops.
+Var SpMM(std::shared_ptr<const CsrMatrix> a, const Var& b,
+         bool a_symmetric = false);
+
+/// Convenience overload; copies `a` into a shared handle.
+Var SpMM(const CsrMatrix& a, const Var& b);
+
+/// Sparse × dense product A·b where A has fixed sparsity `pattern` and
+/// differentiable entries `values`, an (nnz,1) Var in pattern order.
+/// Gradients flow into both `values` (∂/∂v_e = Σ_j g[r_e,j]·b[c_e,j] — the
+/// per-edge adjacency gradient attacks need) and `b` (Aᵀ·g).  Backward
+/// emits SpMMValues / SpmmValueGrad / PermuteRows nodes, so gradients of any
+/// order are available, matching the bilevel GEAttack requirement.
+Var SpMMValues(std::shared_ptr<const CsrPattern> pattern, const Var& values,
+               const Var& b);
+
+/// out[e] = Σ_j g[r_e,j]·b[c_e,j] as an (nnz,1) vector — the adjoint of
+/// SpMMValues with respect to its values operand (a sparse-masked g·bᵀ).
+Var SpmmValueGrad(std::shared_ptr<const CsrPattern> pattern, const Var& g,
+                  const Var& b);
+
+/// Reorders an (m,1) vector by a fixed index map: out[i] = a[perm[i]].
+/// `perm` must be a permutation of [0, m).
+Var PermuteRows(const Var& a, std::shared_ptr<const std::vector<int64_t>> perm);
 
 // ----- Column-block ops (edge-feature assembly). ------------------------------
 

@@ -1,0 +1,210 @@
+#include "src/tensor/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geattack {
+
+bool CsrPattern::CheckInvariants() const {
+  if (rows < 0 || cols < 0) return false;
+  if (static_cast<int64_t>(row_ptr.size()) != rows + 1) return false;
+  if (row_ptr.front() != 0) return false;
+  if (row_ptr.back() != nnz()) return false;
+  for (int64_t i = 0; i < rows; ++i) {
+    if (row_ptr[i] > row_ptr[i + 1]) return false;
+    for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      if (col_idx[e] < 0 || col_idx[e] >= cols) return false;
+      if (e > row_ptr[i] && col_idx[e] <= col_idx[e - 1]) return false;
+    }
+  }
+  return true;
+}
+
+const CsrTranspose& CsrPattern::Transpose() const {
+  std::call_once(transpose_once_,
+                 [this] { transpose_ = TransposePattern(*this); });
+  return transpose_;
+}
+
+CsrTranspose TransposePattern(const CsrPattern& p) {
+  auto t = std::make_shared<CsrPattern>();
+  t->rows = p.cols;
+  t->cols = p.rows;
+  t->row_ptr.assign(static_cast<size_t>(p.cols) + 1, 0);
+  t->col_idx.resize(static_cast<size_t>(p.nnz()));
+  CsrTranspose out;
+  out.src_index.resize(static_cast<size_t>(p.nnz()));
+
+  // Counting sort by column.
+  for (int64_t c : p.col_idx) ++t->row_ptr[c + 1];
+  for (int64_t c = 0; c < p.cols; ++c) t->row_ptr[c + 1] += t->row_ptr[c];
+  std::vector<int64_t> cursor(t->row_ptr.begin(), t->row_ptr.end() - 1);
+  for (int64_t r = 0; r < p.rows; ++r) {
+    for (int64_t e = p.row_ptr[r]; e < p.row_ptr[r + 1]; ++e) {
+      const int64_t dst = cursor[p.col_idx[e]]++;
+      t->col_idx[dst] = r;  // Rows visited in order => sorted within row.
+      out.src_index[dst] = e;
+    }
+  }
+  out.pattern = std::move(t);
+  return out;
+}
+
+Tensor SpmmRaw(const CsrPattern& pattern, const std::vector<double>& values,
+               const Tensor& dense) {
+  GEA_CHECK(static_cast<int64_t>(values.size()) == pattern.nnz());
+  GEA_CHECK(pattern.cols == dense.rows());
+  const int64_t k = dense.cols();
+  Tensor out(pattern.rows, k);
+  const double* b = dense.data().data();
+  double* o = out.mutable_data().data();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 64)
+#endif
+  for (int64_t i = 0; i < pattern.rows; ++i) {
+    double* row_out = o + i * k;
+    for (int64_t e = pattern.row_ptr[i]; e < pattern.row_ptr[i + 1]; ++e) {
+      const double v = values[static_cast<size_t>(e)];
+      const double* brow = b + pattern.col_idx[e] * k;
+      for (int64_t j = 0; j < k; ++j) row_out[j] += v * brow[j];
+    }
+  }
+  return out;
+}
+
+CsrMatrix::CsrMatrix(std::shared_ptr<const CsrPattern> pattern,
+                     std::vector<double> values)
+    : pattern_(std::move(pattern)), values_(std::move(values)) {
+  GEA_CHECK(pattern_ != nullptr);
+  GEA_CHECK(static_cast<int64_t>(values_.size()) == pattern_->nnz());
+}
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense, double tol) {
+  auto pattern = std::make_shared<CsrPattern>();
+  pattern->rows = dense.rows();
+  pattern->cols = dense.cols();
+  pattern->row_ptr.reserve(static_cast<size_t>(dense.rows()) + 1);
+  pattern->row_ptr.push_back(0);
+  std::vector<double> values;
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense.at(i, j);
+      if (std::abs(v) > tol) {
+        pattern->col_idx.push_back(j);
+        values.push_back(v);
+      }
+    }
+    pattern->row_ptr.push_back(static_cast<int64_t>(pattern->col_idx.size()));
+  }
+  return CsrMatrix(std::move(pattern), std::move(values));
+}
+
+double CsrMatrix::At(int64_t r, int64_t c) const {
+  GEA_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+  const auto begin = pattern_->col_idx.begin() + pattern_->row_ptr[r];
+  const auto end = pattern_->col_idx.begin() + pattern_->row_ptr[r + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<size_t>(it - pattern_->col_idx.begin())];
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor out(rows(), cols());
+  for (int64_t i = 0; i < rows(); ++i)
+    for (int64_t e = pattern_->row_ptr[i]; e < pattern_->row_ptr[i + 1]; ++e)
+      out.at(i, pattern_->col_idx[e]) += values_[static_cast<size_t>(e)];
+  return out;
+}
+
+Tensor CsrMatrix::SpMM(const Tensor& dense) const {
+  GEA_CHECK(pattern_ != nullptr);
+  return SpmmRaw(*pattern_, values_, dense);
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  GEA_CHECK(pattern_ != nullptr);
+  const CsrTranspose& t = pattern_->Transpose();
+  std::vector<double> values(values_.size());
+  for (size_t e = 0; e < values.size(); ++e)
+    values[e] = values_[static_cast<size_t>(t.src_index[e])];
+  return CsrMatrix(t.pattern, std::move(values));
+}
+
+Tensor CsrMatrix::RowSums() const {
+  Tensor out(rows(), 1);
+  for (int64_t i = 0; i < rows(); ++i) {
+    double s = 0.0;
+    for (int64_t e = pattern_->row_ptr[i]; e < pattern_->row_ptr[i + 1]; ++e)
+      s += values_[static_cast<size_t>(e)];
+    out.at(i, 0) = s;
+  }
+  return out;
+}
+
+double CsrMatrix::SumValues() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+bool CsrMatrix::AllFinite() const {
+  for (double v : values_)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+CsrMatrix GcnNormalizeCsr(const CsrMatrix& adjacency) {
+  GEA_CHECK(!adjacency.empty());
+  GEA_CHECK(adjacency.rows() == adjacency.cols());
+  const CsrPattern& p = *adjacency.pattern();
+  const std::vector<double>& av = adjacency.values();
+  const int64_t n = p.rows;
+
+  // Degrees of A + I.
+  std::vector<double> dinv(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double d = 1.0;  // Self loop.
+    for (int64_t e = p.row_ptr[i]; e < p.row_ptr[i + 1]; ++e)
+      d += av[static_cast<size_t>(e)];
+    GEA_CHECK(d > 0.0);
+    dinv[static_cast<size_t>(i)] = 1.0 / std::sqrt(d);
+  }
+
+  // Build (A + I) row by row, inserting the diagonal in sorted position
+  // (or merging into it when already present), scaled by dinv on both sides.
+  auto out = std::make_shared<CsrPattern>();
+  out->rows = out->cols = n;
+  out->row_ptr.reserve(static_cast<size_t>(n) + 1);
+  out->row_ptr.push_back(0);
+  out->col_idx.reserve(p.col_idx.size() + static_cast<size_t>(n));
+  std::vector<double> values;
+  values.reserve(p.col_idx.size() + static_cast<size_t>(n));
+
+  for (int64_t i = 0; i < n; ++i) {
+    const double di = dinv[static_cast<size_t>(i)];
+    bool diag_emitted = false;
+    for (int64_t e = p.row_ptr[i]; e < p.row_ptr[i + 1]; ++e) {
+      const int64_t j = p.col_idx[e];
+      double v = av[static_cast<size_t>(e)];
+      if (!diag_emitted && j >= i) {
+        if (j == i) {
+          v += 1.0;
+        } else {
+          out->col_idx.push_back(i);
+          values.push_back(di * 1.0 * di);
+        }
+        diag_emitted = true;
+      }
+      out->col_idx.push_back(j);
+      values.push_back(di * v * dinv[static_cast<size_t>(j)]);
+    }
+    if (!diag_emitted) {
+      out->col_idx.push_back(i);
+      values.push_back(di * di);
+    }
+    out->row_ptr.push_back(static_cast<int64_t>(out->col_idx.size()));
+  }
+  return CsrMatrix(std::move(out), std::move(values));
+}
+
+}  // namespace geattack

@@ -1,5 +1,6 @@
 #include "src/tensor/random.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -45,6 +46,26 @@ int64_t Rng::SampleWeighted(const std::vector<double>& weights) {
     if (r <= 0.0) return static_cast<int64_t>(i);
   }
   return static_cast<int64_t>(weights.size()) - 1;
+}
+
+WeightedSampler::WeightedSampler(const std::vector<double>& weights) {
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    GEA_CHECK(w >= 0.0);
+    total += w;
+    cumulative_.push_back(total);
+  }
+  GEA_CHECK(total > 0.0);
+}
+
+int64_t WeightedSampler::Sample(Rng* rng) const {
+  GEA_CHECK(rng != nullptr);
+  const double r = rng->Uniform(0.0, cumulative_.back());
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), r);
+  return std::min<int64_t>(static_cast<int64_t>(it - cumulative_.begin()),
+                           size() - 1);
 }
 
 }  // namespace geattack

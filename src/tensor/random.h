@@ -64,12 +64,31 @@ class Rng {
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
 
   /// Samples an index from an (unnormalized, non-negative) weight vector.
+  /// O(n) per draw; build a WeightedSampler for repeated draws.
   int64_t SampleWeighted(const std::vector<double>& weights);
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+};
+
+/// Repeated weighted sampling in O(log n) per draw via binary search over
+/// the prefix sums — the generator-scale replacement for the linear-scan
+/// Rng::SampleWeighted.
+class WeightedSampler {
+ public:
+  /// Weights must be non-negative with a positive sum.
+  explicit WeightedSampler(const std::vector<double>& weights);
+
+  /// Samples an index in [0, size) with probability proportional to its
+  /// weight, consuming one uniform draw from `rng`.
+  int64_t Sample(Rng* rng) const;
+
+  int64_t size() const { return static_cast<int64_t>(cumulative_.size()); }
+
+ private:
+  std::vector<double> cumulative_;  // Inclusive prefix sums.
 };
 
 }  // namespace geattack

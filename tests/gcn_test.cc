@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "gtest/gtest.h"
+#include "src/eval/pipeline.h"
 #include "src/graph/datasets.h"
 #include "src/graph/generators.h"
 #include "src/nn/adam.h"
@@ -182,6 +183,99 @@ TEST(DegreeTestTest, TypicalAdditionAccepted) {
   ASSERT_GE(u, 0);
   ASSERT_GE(v, 0);
   EXPECT_TRUE(test.EdgeAdditionUnnoticeable(data.graph, u, v));
+}
+
+// ----- Sparse (CSR) forward path. -------------------------------------------
+
+TEST(SparseGcnTest, SparseLogitsMatchDense) {
+  GraphData data = TestData(40);
+  Rng rng(41);
+  Gcn model({data.feature_dim(), 8, data.num_classes}, &rng);
+  Tensor dense = model.Logits(NormalizeAdjacency(data.graph.DenseAdjacency()),
+                              data.features);
+  Tensor sparse =
+      model.Logits(NormalizeAdjacencyCsr(data.graph), data.features);
+  EXPECT_LE(sparse.MaxAbsDiff(dense), 1e-5);
+  EXPECT_LE(model.LogitsFromGraph(data.graph, data.features)
+                .MaxAbsDiff(dense),
+            1e-5);
+}
+
+TEST(SparseGcnTest, SparseHiddenMatchesDense) {
+  GraphData data = TestData(42);
+  Rng rng(43);
+  Gcn model({data.feature_dim(), 8, data.num_classes}, &rng);
+  Tensor norm_dense = NormalizeAdjacency(data.graph.DenseAdjacency());
+  EXPECT_LE(model.Hidden(NormalizeAdjacencyCsr(data.graph), data.features)
+                .MaxAbsDiff(model.Hidden(norm_dense, data.features)),
+            1e-9);
+}
+
+TEST(SparseGcnTest, SparseTrainerMatchesDenseTrainer) {
+  GraphData data = TestData(44);
+  Rng rng(45);
+  Split split = MakeSplit(data, 0.1, 0.1, &rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.patience = 0;  // Deterministic epoch count on both paths.
+
+  Rng rng_sparse(46), rng_dense(46);
+  cfg.use_sparse = true;
+  TrainResult sparse_result;
+  Gcn sparse_model =
+      TrainNewGcn(data, split, cfg, &rng_sparse, &sparse_result);
+  cfg.use_sparse = false;
+  TrainResult dense_result;
+  Gcn dense_model = TrainNewGcn(data, split, cfg, &rng_dense, &dense_result);
+
+  // Same math, same seeds: weights and logits agree to accumulated roundoff.
+  EXPECT_LE(sparse_model.w1().MaxAbsDiff(dense_model.w1()), 1e-6);
+  EXPECT_LE(sparse_model.w2().MaxAbsDiff(dense_model.w2()), 1e-6);
+  EXPECT_LE(sparse_result.final_logits.MaxAbsDiff(dense_result.final_logits),
+            1e-5);
+  EXPECT_NEAR(sparse_result.test_accuracy, dense_result.test_accuracy, 1e-9);
+}
+
+TEST(SparseGcnTest, PerturbedLogitsSparseMatchesDense) {
+  GraphData data = TestData(49);
+  Rng rng(50);
+  Split split = MakeSplit(data, 0.1, 0.1, &rng);
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  Gcn model = TrainNewGcn(data, split, cfg, &rng);
+  AttackContext ctx = MakeAttackContext(data, model);
+
+  // A hand-built "attack result": three added edges around node 0.
+  AttackResult result;
+  result.adjacency = ctx.clean_adjacency;
+  for (int64_t v = 1; v < data.num_nodes() && result.added_edges.size() < 3;
+       ++v) {
+    if (!data.graph.HasEdge(0, v)) {
+      AddEdgeDense(&result.adjacency, 0, v);
+      result.added_edges.emplace_back(0, v);
+    }
+  }
+  ASSERT_EQ(result.added_edges.size(), 3u);
+
+  Tensor dense = PerturbedLogits(ctx, result, /*sparse=*/false);
+  Tensor sparse = PerturbedLogits(ctx, result, /*sparse=*/true);
+  EXPECT_LE(sparse.MaxAbsDiff(dense), 1e-5);
+}
+
+TEST(SparseGcnTest, LinearizedSparseLogitsMatchDense) {
+  GraphData data = TestData(47);
+  Rng rng(48);
+  Gcn model({data.feature_dim(), 8, data.num_classes}, &rng);
+  LinearizedGcn lin(model, data.features);
+  Tensor adj = data.graph.DenseAdjacency();
+  CsrMatrix norm = NormalizeAdjacencyCsr(data.graph);
+  EXPECT_LE(lin.LogitsFromNormalized(norm).MaxAbsDiff(lin.Logits(adj)), 1e-9);
+  for (int64_t node : {int64_t{0}, data.num_nodes() / 2}) {
+    EXPECT_LE(lin.LogitsRowFromNormalized(norm, node)
+                  .MaxAbsDiff(lin.LogitsRow(adj, node)),
+              1e-9);
+  }
 }
 
 }  // namespace

@@ -99,6 +99,50 @@ Var TwoLayerGcnLoss(const Var& a) {
   return NllRow(logits, 0, 1);
 }
 
+/// A fixed small sparse pattern (and matching test operands) shared by the
+/// SpMM gradient checks.
+std::shared_ptr<const CsrPattern> SpmmTestPattern() {
+  // 4x4 with 7 stored entries, including an empty-ish row structure.
+  auto p = std::make_shared<CsrPattern>();
+  p->rows = p->cols = 4;
+  p->row_ptr = {0, 2, 4, 5, 7};
+  p->col_idx = {0, 2, 1, 3, 2, 0, 3};
+  return p;
+}
+
+Var SpmmConstQuadratic(const Var& b) {
+  // sum((A·b)²) with a constant sparse A — the training-path structure
+  // where the gradient flows into the dense operand only.
+  Rng rng(600);
+  const int64_t n = b.rows();
+  Tensor dense(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      if (rng.Bernoulli(0.4)) dense.at(i, j) = rng.Normal(0, 1);
+  CsrMatrix a = CsrMatrix::FromDense(dense);
+  Var y = SpMM(a, b);
+  return Sum(Mul(y, y));
+}
+
+Var SpmmValuesQuadratic(const Var& values) {
+  // sum((A·B)²) where the sparse *entries* are the differentiated input —
+  // the sparse analogue of the attack's adjacency gradient.
+  auto p = SpmmTestPattern();
+  Rng rng(601);
+  Var b = Constant(rng.NormalTensor(p->cols, 3, 0, 1));
+  Var y = SpMMValues(p, values, b);
+  return Sum(Mul(y, y));
+}
+
+Var SpmmValuesThroughDense(const Var& b) {
+  // Same expression differentiated through the dense operand instead.
+  auto p = SpmmTestPattern();
+  Rng rng(602);
+  Var values = Constant(rng.NormalTensor(p->nnz(), 1, 0, 1));
+  Var y = SpMMValues(p, values, b);
+  return Sum(Mul(y, y));
+}
+
 Var UnrolledInnerLoop(const Var& a) {
   // One full GEAttack-style hypergradient structure: two gradient-descent
   // steps on a mask whose loss depends on `a`, then a readout of the mask.
@@ -169,6 +213,12 @@ INSTANTIATE_TEST_SUITE_P(
                  },
                  2, 3, -2, 2, false},
         GradCase{"quadratic_form", QuadraticForm, 2, 3, -1, 1, true},
+        GradCase{"spmm_const_quadratic", SpmmConstQuadratic, 4, 3, -1, 1,
+                 true},
+        GradCase{"spmm_values_quadratic", SpmmValuesQuadratic, 7, 1, -1, 1,
+                 true},
+        GradCase{"spmm_values_through_dense", SpmmValuesThroughDense, 4, 3,
+                 -1, 1, true},
         GradCase{"sigmoid_mask_loss", SigmoidMaskLoss, 4, 4, -2, 2, true},
         GradCase{"normalized_adjacency", NormalizedAdjacencyLoss, 4, 4, 0.1,
                  0.9, true},
@@ -187,6 +237,50 @@ TEST(HypergradientTest, MatchesFiniteDifferences) {
   Tensor a0 = rng.UniformTensor(n, n, 0.2, 0.8);
   auto fn = [](const Var& a) { return UnrolledInnerLoop(a); };
   ExpectGradientsMatch(fn, a0, 5e-5);
+}
+
+// Gradients through both SpMMValues operands at once: the joint (values, b)
+// gradient equals the two single-operand finite-difference gradients.
+TEST(SpmmGradTest, JointGradientsMatchFiniteDifferences) {
+  auto p = SpmmTestPattern();
+  Rng rng(603);
+  Tensor v0 = rng.NormalTensor(p->nnz(), 1, 0, 1);
+  Tensor b0 = rng.NormalTensor(p->cols, 3, 0, 1);
+
+  Var v = Var::Leaf(v0, /*requires_grad=*/true, "values");
+  Var b = Var::Leaf(b0, /*requires_grad=*/true, "b");
+  Var y = SpMMValues(p, v, b);
+  Var loss = Sum(Mul(y, y));
+  auto grads = Grad(loss, {v, b});
+
+  auto loss_of_values = [&](const Var& vv) {
+    Var yy = SpMMValues(p, vv, Constant(b0));
+    return Sum(Mul(yy, yy));
+  };
+  auto loss_of_b = [&](const Var& bb) {
+    Var yy = SpMMValues(p, Constant(v0), bb);
+    return Sum(Mul(yy, yy));
+  };
+  EXPECT_LE(grads[0].value().MaxAbsDiff(
+                geattack::testing::NumericalGradient(loss_of_values, v0)),
+            2e-5);
+  EXPECT_LE(grads[1].value().MaxAbsDiff(
+                geattack::testing::NumericalGradient(loss_of_b, b0)),
+            2e-5);
+}
+
+TEST(SpmmGradTest, PermuteRowsGradientIsInversePermutation) {
+  auto perm = std::make_shared<std::vector<int64_t>>(
+      std::vector<int64_t>{2, 0, 3, 1});
+  Rng rng(604);
+  Tensor x0 = rng.NormalTensor(4, 1, 0, 1);
+  auto fn = [&perm](const Var& x) {
+    Var y = PermuteRows(x, perm);
+    Rng local(605);
+    Var w = Constant(local.NormalTensor(4, 1, 0, 1));
+    return Sum(Mul(y, Mul(y, w)));
+  };
+  ExpectGradientsMatch(fn, x0, 2e-5);
 }
 
 }  // namespace

@@ -164,5 +164,60 @@ TEST(NormalizeAdjacencyTest, GradientMatchesFiniteDifferences) {
   geattack::testing::ExpectGradientsMatch(fn, a, 2e-5);
 }
 
+// ----- CSR views and incremental updates. -----------------------------------
+
+Graph RandomGraph(int64_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = i + 1; j < n; ++j)
+      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+  return g;
+}
+
+TEST(GraphCsrTest, CsrAdjacencyMatchesDense) {
+  Graph g = RandomGraph(12, 0.3, 31);
+  CsrMatrix csr = g.CsrAdjacency();
+  EXPECT_TRUE(csr.pattern()->CheckInvariants());
+  EXPECT_EQ(csr.nnz(), 2 * g.num_edges());
+  EXPECT_LE(csr.ToDense().MaxAbsDiff(g.DenseAdjacency()), 0.0);
+}
+
+TEST(GraphCsrTest, NormalizeAdjacencyCsrMatchesDense) {
+  Graph g = RandomGraph(15, 0.25, 32);
+  Tensor dense = NormalizeAdjacency(g.DenseAdjacency());
+  CsrMatrix sparse = NormalizeAdjacencyCsr(g);
+  EXPECT_LE(sparse.ToDense().MaxAbsDiff(dense), 1e-12);
+}
+
+TEST(GraphCsrTest, ApplyEdgeFlipsMatchesRebuild) {
+  Graph g = RandomGraph(10, 0.3, 33);
+  const CsrMatrix base = g.CsrAdjacency();
+
+  // Pick two absent edges to add and two present edges to remove.
+  std::vector<Edge> added, removed;
+  for (int64_t i = 0; i < 10 && added.size() < 2; ++i)
+    for (int64_t j = i + 1; j < 10 && added.size() < 2; ++j)
+      if (!g.HasEdge(i, j)) added.emplace_back(i, j);
+  const std::vector<Edge> edges = g.Edges();
+  ASSERT_GE(edges.size(), 2u);
+  removed.push_back(edges.front());
+  removed.push_back(edges.back());
+
+  const CsrMatrix patched = ApplyEdgeFlips(base, added, removed);
+  EXPECT_TRUE(patched.pattern()->CheckInvariants());
+
+  for (const Edge& e : added) g.AddEdge(e.u, e.v);
+  for (const Edge& e : removed) g.RemoveEdge(e.u, e.v);
+  EXPECT_LE(patched.ToDense().MaxAbsDiff(g.DenseAdjacency()), 0.0);
+}
+
+TEST(GraphCsrTest, ApplyEdgeFlipsEmptyIsIdentity) {
+  Graph g = RandomGraph(8, 0.4, 34);
+  const CsrMatrix base = g.CsrAdjacency();
+  const CsrMatrix same = ApplyEdgeFlips(base, {}, {});
+  EXPECT_LE(same.ToDense().MaxAbsDiff(base.ToDense()), 0.0);
+}
+
 }  // namespace
 }  // namespace geattack

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "gtest/gtest.h"
+#include "src/tensor/csr.h"
 #include "src/tensor/random.h"
 
 namespace geattack {
@@ -222,6 +223,100 @@ TEST(RngTest, GlorotWithinLimit) {
   const double limit = std::sqrt(6.0 / 50.0);
   EXPECT_LE(w.Max(), limit);
   EXPECT_GE(w.Min(), -limit);
+}
+
+TEST(RngTest, WeightedSamplerMatchesLinearScanDistribution) {
+  std::vector<double> w = {0.0, 3.0, 0.0, 1.0};
+  WeightedSampler sampler(w);
+  Rng rng(11);
+  std::vector<int64_t> counts(w.size(), 0);
+  for (int i = 0; i < 4000; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 4000.0, 0.75, 0.03);
+}
+
+// ----- Sparse CSR matrix. ---------------------------------------------------
+
+Tensor RandomSparseDense(int64_t rows, int64_t cols, uint64_t seed,
+                         double density = 0.3) {
+  Rng rng(seed);
+  Tensor a(rows, cols);
+  for (int64_t i = 0; i < a.size(); ++i)
+    if (rng.Bernoulli(density)) a[i] = rng.Normal(0, 1);
+  return a;
+}
+
+TEST(CsrTest, FromDenseRoundTrip) {
+  Tensor a = RandomSparseDense(7, 5, 1);
+  CsrMatrix m = CsrMatrix::FromDense(a);
+  EXPECT_TRUE(m.pattern()->CheckInvariants());
+  EXPECT_EQ(m.rows(), 7);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_LE(m.ToDense().MaxAbsDiff(a), 0.0);
+}
+
+TEST(CsrTest, AtLooksUpStoredAndMissingEntries) {
+  Tensor a(3, 3, {0, 2, 0, 0, 0, -1, 4, 0, 0});
+  CsrMatrix m = CsrMatrix::FromDense(a);
+  EXPECT_EQ(m.nnz(), 3);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(m.At(i, j), a.at(i, j));
+}
+
+TEST(CsrTest, TransposedMatchesDenseTranspose) {
+  Tensor a = RandomSparseDense(6, 4, 2);
+  CsrMatrix t = CsrMatrix::FromDense(a).Transposed();
+  EXPECT_TRUE(t.pattern()->CheckInvariants());
+  EXPECT_LE(t.ToDense().MaxAbsDiff(a.Transposed()), 0.0);
+}
+
+TEST(CsrTest, SpmmMatchesDenseMatMul) {
+  Tensor a = RandomSparseDense(8, 6, 3);
+  Tensor b = Rng(4).NormalTensor(6, 5, 0, 1);
+  CsrMatrix m = CsrMatrix::FromDense(a);
+  EXPECT_LE(m.SpMM(b).MaxAbsDiff(a.MatMul(b)), 1e-12);
+}
+
+TEST(CsrTest, RowSumsMatchDense) {
+  Tensor a = RandomSparseDense(5, 5, 5);
+  CsrMatrix m = CsrMatrix::FromDense(a);
+  EXPECT_LE(m.RowSums().MaxAbsDiff(a.RowSum()), 1e-12);
+}
+
+TEST(CsrTest, GcnNormalizeMatchesDenseFormula) {
+  // Symmetric 0/1 adjacency with zero diagonal.
+  Rng rng(6);
+  const int64_t n = 9;
+  Tensor a(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = i + 1; j < n; ++j)
+      if (rng.Bernoulli(0.3)) a.at(i, j) = a.at(j, i) = 1.0;
+
+  // Dense reference: D̃^{-1/2}(A + I)D̃^{-1/2}.
+  Tensor self = a;
+  self.FillDiagonal(1.0);
+  Tensor dinv = self.RowSum().Pow(-0.5);
+  Tensor expected(n, n);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      expected.at(i, j) = dinv.at(i, 0) * self.at(i, j) * dinv.at(j, 0);
+
+  CsrMatrix norm = GcnNormalizeCsr(CsrMatrix::FromDense(a));
+  EXPECT_TRUE(norm.pattern()->CheckInvariants());
+  EXPECT_LE(norm.ToDense().MaxAbsDiff(expected), 1e-12);
+  EXPECT_TRUE(norm.AllFinite());
+}
+
+TEST(CsrTest, GcnNormalizeMergesExistingDiagonal) {
+  Tensor a(2, 2, {0.5, 1.0, 1.0, 0.0});
+  CsrMatrix norm = GcnNormalizeCsr(CsrMatrix::FromDense(a));
+  // Row degrees of A + I: (2.5, 2.0).
+  const double d0 = 1.0 / std::sqrt(2.5), d1 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(norm.At(0, 0), d0 * 1.5 * d0, 1e-12);
+  EXPECT_NEAR(norm.At(0, 1), d0 * 1.0 * d1, 1e-12);
+  EXPECT_NEAR(norm.At(1, 1), d1 * 1.0 * d1, 1e-12);
 }
 
 }  // namespace
