@@ -1,0 +1,325 @@
+// End-to-end attack-loop benchmark: dense n x n relaxation vs. the sparse
+// candidate-edge path, per-target, for GEAttack (bilevel, hypergradient)
+// and FGA-T (single-level gradient).  This is the perf-trajectory point for
+// the attack stack, complementing bench_micro's kernel-level numbers.
+//
+//   ./bench_attack                 full harness; writes BENCH_attack.json
+//                                  (override: --json=PATH).  Sizes
+//                                  n ∈ {1k, 5k, 20k}; the 20k scenario
+//                                  (override: GEATTACK_BENCH_ATTACK_LARGE_N)
+//                                  is sparse-only — the dense bilevel loop
+//                                  cannot even allocate there.
+//   ./bench_attack --quick         CI-sized sizes (n ∈ {300, 800}), small
+//                                  budgets; same JSON schema.
+//
+// Both modes end with a dense-vs-sparse equivalence gate at the smallest
+// size: FGA-T and GEAttack (mask_init_scale = 0) must each pick identical
+// edges or reach the same final attack loss within 1e-6 (the loss fallback
+// tolerates compiler-dependent roundoff flipping a near-tied argmin; the
+// unit tests additionally pin identical picks on fixed seeds).  The process
+// exits nonzero if the gate fails, so CI catches drift.
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/attack/fga.h"
+#include "src/core/geattack.h"
+#include "src/eval/pipeline.h"
+#include "src/graph/generators.h"
+#include "src/nn/trainer.h"
+
+namespace geattack {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Scenario {
+  GraphData data;
+  Gcn model;
+  AttackContext ctx;        // Dense + sparse, or sparse-only when large.
+  PreparedTarget target;
+  bool dense_ok = false;
+};
+
+Scenario MakeScenario(int64_t n, bool dense_ok, int64_t feature_dim,
+                      int64_t budget_cap) {
+  Rng rng(9000 + static_cast<uint64_t>(n));
+  CitationGraphConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_edges = 3 * n;
+  cfg.num_classes = 5;
+  cfg.feature_dim = feature_dim;
+  Scenario s{KeepLargestConnectedComponent(GenerateCitationGraph(cfg, &rng)),
+             Gcn({feature_dim, 16, 5}, &rng),
+             AttackContext{},
+             PreparedTarget{},
+             dense_ok};
+  Split split = MakeSplit(s.data, 0.1, 0.1, &rng);
+  TrainConfig tc;
+  tc.epochs = n >= 10000 ? 3 : (n >= 2000 ? 8 : 20);
+  tc.patience = 0;
+  s.model = TrainNewGcn(s.data, split, tc, &rng);
+  s.ctx = dense_ok ? MakeAttackContext(s.data, s.model)
+                   : MakeSparseAttackContext(s.data, s.model);
+
+  // Target: a correctly-classified test node of degree >= 2 that the
+  // untargeted FGA probe can flip (the paper's target-label protocol).
+  const Tensor logits = s.model.LogitsFromGraph(s.data.graph,
+                                                s.data.features);
+  for (int64_t node : split.test) {
+    if (s.data.graph.Degree(node) < 2) continue;
+    if (logits.ArgMaxRow(node) != s.data.labels[node]) continue;
+    auto prepared = PrepareTargets(s.ctx, {node}, &rng, /*sparse=*/true);
+    if (prepared.empty()) continue;
+    s.target = prepared[0];
+    s.target.budget = std::min(s.target.budget, budget_cap);
+    break;
+  }
+  return s;
+}
+
+struct TimedRun {
+  double ms = -1.0;  // < 0: skipped (dense infeasible at this size).
+  AttackResult result;
+};
+
+TimedRun TimeAttack(const Scenario& s, const TargetedAttack& attack,
+                    uint64_t seed) {
+  TimedRun run;
+  AttackRequest req{s.target.node, s.target.target_label, s.target.budget};
+  Rng rng(seed);
+  const double t0 = NowMs();
+  run.result = attack.Attack(s.ctx, req, &rng);
+  run.ms = NowMs() - t0;
+  return run;
+}
+
+struct Row {
+  int64_t n = 0;
+  int64_t edges = 0;
+  int64_t budget = 0;
+  int64_t inner_steps = 0;  // 0 for FGA.
+  double dense_ms = -1.0;
+  double sparse_ms = 0.0;
+};
+
+struct EquivalenceRow {
+  int64_t n = 0;
+  std::string attack;
+  bool identical_edges = false;
+  double loss_delta = 0.0;
+};
+
+/// -log softmax[target_label] of the post-attack victim via the sparse
+/// incremental eval path.
+double FinalAttackLoss(const Scenario& s, const AttackResult& result) {
+  const Tensor logits = PerturbedLogits(s.ctx, result, /*sparse=*/true);
+  const int64_t v = s.target.node;
+  double maxv = logits.at(v, 0);
+  for (int64_t c = 1; c < logits.cols(); ++c)
+    maxv = std::max(maxv, logits.at(v, c));
+  double denom = 0.0;
+  for (int64_t c = 0; c < logits.cols(); ++c)
+    denom += std::exp(logits.at(v, c) - maxv);
+  return -(logits.at(v, s.target.target_label) - maxv - std::log(denom));
+}
+
+bool SameEdges(const AttackResult& a, const AttackResult& b) {
+  if (a.added_edges.size() != b.added_edges.size()) return false;
+  for (size_t i = 0; i < a.added_edges.size(); ++i)
+    if (!(a.added_edges[i] == b.added_edges[i])) return false;
+  return true;
+}
+
+void WriteNullableMs(std::ostream& os, const char* key, double ms) {
+  os << "\"" << key << "\":";
+  if (ms < 0.0) {
+    os << "null";
+  } else {
+    os << ms;
+  }
+}
+
+void WriteRows(std::ostream& os, const std::vector<Row>& rows,
+               bool with_inner) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"n\":" << r.n << ",\"edges\":" << r.edges
+       << ",\"budget\":" << r.budget;
+    if (with_inner) os << ",\"inner_steps\":" << r.inner_steps;
+    os << ",";
+    WriteNullableMs(os, "dense_ms", r.dense_ms);
+    os << ",\"sparse_ms\":" << r.sparse_ms << ",";
+    WriteNullableMs(os, "speedup",
+                    r.dense_ms < 0.0 || r.sparse_ms <= 0.0
+                        ? -1.0
+                        : r.dense_ms / r.sparse_ms);
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+}
+
+int RunHarness(const std::string& json_path, bool quick) {
+  const int64_t large_n = [] {
+    const char* v = std::getenv("GEATTACK_BENCH_ATTACK_LARGE_N");
+    return (v != nullptr && std::atoll(v) > 0) ? std::atoll(v)
+                                               : int64_t{20000};
+  }();
+  const std::vector<int64_t> sizes =
+      quick ? std::vector<int64_t>{300, 800}
+            : std::vector<int64_t>{1000, 5000, large_n};
+  // Beyond this the dense bilevel loop's live autodiff graph (hundreds of
+  // n x n tensors under create_graph) stops fitting in memory.
+  const int64_t dense_max_n = quick ? 800 : 5000;
+  const int64_t feature_dim = quick ? 64 : 128;
+  const int64_t budget_cap = quick ? 2 : 3;
+
+  std::vector<Row> geattack_rows, fga_rows;
+  std::vector<EquivalenceRow> equivalence;
+  bool gate_ok = true;
+
+  for (int64_t n : sizes) {
+    const bool dense_ok = n <= dense_max_n;
+    std::cerr << "[bench_attack] n=" << n << ": building scenario...\n";
+    Scenario s = MakeScenario(n, dense_ok, feature_dim, budget_cap);
+    if (s.target.node < 0) {
+      std::cerr << "[bench_attack] n=" << n << ": no flippable target\n";
+      continue;
+    }
+    std::cerr << "[bench_attack] n=" << s.data.num_nodes() << " target "
+              << s.target.node << " budget " << s.target.budget << "\n";
+
+    GeAttackConfig ge;
+    // T = 5 is affordable everywhere on the sparse path; the dense bilevel
+    // graph at 5k only fits with a shallower inner loop, and the ratio is
+    // measured at identical configs.
+    ge.inner_steps = quick ? 2 : (n >= 2000 ? 2 : 5);
+    GeAttackConfig ge_sparse = ge;
+    ge_sparse.use_sparse = true;
+    GeAttackConfig ge_dense = ge;
+    ge_dense.use_sparse = false;
+
+    Row grow;
+    grow.n = s.data.num_nodes();
+    grow.edges = s.data.graph.num_edges();
+    grow.budget = s.target.budget;
+    grow.inner_steps = ge.inner_steps;
+    grow.sparse_ms = TimeAttack(s, GeAttack(ge_sparse), 101).ms;
+    std::cerr << "[bench_attack] GEAttack sparse " << grow.sparse_ms
+              << " ms/target\n";
+    if (dense_ok) {
+      grow.dense_ms = TimeAttack(s, GeAttack(ge_dense), 101).ms;
+      std::cerr << "[bench_attack] GEAttack dense " << grow.dense_ms
+                << " ms/target\n";
+    }
+    geattack_rows.push_back(grow);
+
+    Row frow;
+    frow.n = grow.n;
+    frow.edges = grow.edges;
+    frow.budget = grow.budget;
+    frow.sparse_ms =
+        TimeAttack(s, FgaAttack(true, /*use_sparse=*/true), 102).ms;
+    std::cerr << "[bench_attack] FGA-T sparse " << frow.sparse_ms
+              << " ms/target\n";
+    if (dense_ok) {
+      frow.dense_ms =
+          TimeAttack(s, FgaAttack(true, /*use_sparse=*/false), 102).ms;
+      std::cerr << "[bench_attack] FGA-T dense " << frow.dense_ms
+                << " ms/target\n";
+    }
+    fga_rows.push_back(frow);
+
+    // ----- Equivalence gate at the smallest size. -----
+    if (n == sizes.front()) {
+      {
+        EquivalenceRow row;
+        row.n = grow.n;
+        row.attack = "FGA-T";
+        const TimedRun a = TimeAttack(s, FgaAttack(true, false), 103);
+        const TimedRun b = TimeAttack(s, FgaAttack(true, true), 103);
+        row.identical_edges = SameEdges(a.result, b.result);
+        row.loss_delta = std::abs(FinalAttackLoss(s, a.result) -
+                                  FinalAttackLoss(s, b.result));
+        gate_ok = gate_ok && (row.identical_edges || row.loss_delta < 1e-6);
+        equivalence.push_back(row);
+      }
+      {
+        EquivalenceRow row;
+        row.n = grow.n;
+        row.attack = "GEAttack";
+        GeAttackConfig eq = ge;
+        eq.mask_init_scale = 0.0;  // Both paths deterministic + comparable.
+        GeAttackConfig eq_sparse = eq;
+        eq_sparse.use_sparse = true;
+        eq.use_sparse = false;
+        const TimedRun a = TimeAttack(s, GeAttack(eq), 104);
+        const TimedRun b = TimeAttack(s, GeAttack(eq_sparse), 104);
+        row.identical_edges = SameEdges(a.result, b.result);
+        row.loss_delta = std::abs(FinalAttackLoss(s, a.result) -
+                                  FinalAttackLoss(s, b.result));
+        gate_ok = gate_ok && (row.identical_edges || row.loss_delta < 1e-6);
+        equivalence.push_back(row);
+      }
+      std::cerr << "[bench_attack] equivalence gate: "
+                << (gate_ok ? "PASS" : "FAIL") << "\n";
+    }
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot open " << json_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"attack\",\n  \"openmp\": "
+#ifdef _OPENMP
+      << "true"
+#else
+      << "false"
+#endif
+      << ",\n  \"quick\": " << (quick ? "true" : "false")
+      << ",\n  \"geattack_per_target\": [\n";
+  WriteRows(out, geattack_rows, /*with_inner=*/true);
+  out << "  ],\n  \"fga_per_target\": [\n";
+  WriteRows(out, fga_rows, /*with_inner=*/false);
+  out << "  ],\n  \"equivalence\": [\n";
+  for (size_t i = 0; i < equivalence.size(); ++i) {
+    const EquivalenceRow& e = equivalence[i];
+    out << "    {\"n\":" << e.n << ",\"attack\":\"" << e.attack
+        << "\",\"identical_edges\":" << (e.identical_edges ? "true" : "false")
+        << ",\"loss_delta\":" << e.loss_delta << "}"
+        << (i + 1 < equivalence.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"equivalence_gate\": " << (gate_ok ? "\"pass\"" : "\"fail\"")
+      << "\n}\n";
+  std::cerr << "[bench_attack] wrote " << json_path << "\n";
+  return gate_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace geattack
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_attack.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  return geattack::RunHarness(json_path, quick);
+}

@@ -2,6 +2,37 @@
 
 namespace geattack {
 
+const GcnForwardContext& CachedForward(const AttackContext& ctx) {
+  GEA_CHECK(ctx.scratch != nullptr);
+  GEA_CHECK(ctx.data != nullptr && ctx.model != nullptr);
+  AttackScratch* s = ctx.scratch.get();
+  if (!s->fwd_built) {
+    s->xw1 = ctx.data->features.MatMul(ctx.model->w1());
+    s->fwd.xw1 = Constant(s->xw1, "xw1");
+    s->fwd.w2 = Constant(ctx.model->w2(), "w2");
+    s->fwd_built = true;
+  }
+  return s->fwd;
+}
+
+const Tensor& CachedXw1(const AttackContext& ctx) {
+  CachedForward(ctx);
+  return ctx.scratch->xw1;
+}
+
+const Tensor& CachedPenaltyBase(const AttackContext& ctx) {
+  GEA_CHECK(ctx.scratch != nullptr);
+  AttackScratch* s = ctx.scratch.get();
+  if (!s->b_built) {
+    const int64_t n = ctx.clean_adjacency.rows();
+    GEA_CHECK(n > 0);  // Requires a dense context.
+    s->b_base = Tensor::Ones(n, n) - Tensor::Identity(n) -
+                ctx.clean_adjacency;
+    s->b_built = true;
+  }
+  return s->b_base;
+}
+
 std::vector<int64_t> DirectAddCandidates(const Tensor& adjacency,
                                          int64_t target,
                                          const std::vector<int64_t>& labels,
@@ -12,6 +43,22 @@ std::vector<int64_t> DirectAddCandidates(const Tensor& adjacency,
   for (int64_t j = 0; j < n; ++j) {
     if (j == target) continue;
     if (adjacency.at(target, j) > 0.5) continue;
+    if (required_label >= 0 && labels[j] != required_label) continue;
+    candidates.push_back(j);
+  }
+  return candidates;
+}
+
+std::vector<int64_t> DirectAddCandidates(const Graph& graph, int64_t target,
+                                         const std::vector<int64_t>& labels,
+                                         int64_t required_label) {
+  const int64_t n = graph.num_nodes();
+  GEA_CHECK(target >= 0 && target < n);
+  const std::set<int64_t>& neighbors = graph.Neighbors(target);
+  std::vector<int64_t> candidates;
+  for (int64_t j = 0; j < n; ++j) {
+    if (j == target) continue;
+    if (neighbors.count(j)) continue;
     if (required_label >= 0 && labels[j] != required_label) continue;
     candidates.push_back(j);
   }

@@ -11,6 +11,7 @@
 #define GEATTACK_SRC_ATTACK_ATTACK_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,16 +22,51 @@
 
 namespace geattack {
 
+/// Lazily-built caches shared by repeated Attack calls on one context.
+/// Everything here is a deterministic function of (data, model), so hoisting
+/// it out of the per-call loops changes no numerics — it just stops every
+/// Attack call from redoing the O(n·d·h) weight fold (and, on the dense
+/// GEAttack path, the O(n²) penalty-support build).  Not thread-safe, like
+/// the rest of the library.
+struct AttackScratch {
+  bool fwd_built = false;
+  GcnForwardContext fwd;  ///< Folded attack-time forward (X·W₁, W₂).
+  Tensor xw1;             ///< (n, h) value behind fwd.xw1, for sparse views.
+  bool b_built = false;
+  Tensor b_base;  ///< B = 11ᵀ − I − A of the clean graph (dense GEAttack).
+};
+
 /// Immutable attack-time context shared across targets.
 struct AttackContext {
   const GraphData* data = nullptr;  ///< Clean attributed graph.
   const Gcn* model = nullptr;       ///< Trained victim (fixed, evasion).
-  Tensor clean_adjacency;           ///< Dense adjacency of the clean graph.
+  Tensor clean_adjacency;           ///< Dense adjacency of the clean graph;
+                                    ///< may be empty (rows() == 0) on
+                                    ///< sparse-only contexts for graphs too
+                                    ///< large to densify.
   CsrMatrix clean_csr;              ///< The same adjacency in CSR form; the
                                     ///< sparse eval path patches it with
                                     ///< ApplyEdgeFlips instead of
                                     ///< re-densifying per target.
+  CsrMatrix clean_norm_csr;         ///< GCN-normalized clean CSR, computed
+                                    ///< once and reused across targets
+                                    ///< (values-only incremental updates).
+  Tensor clean_degp1;               ///< (n, 1) clean degree + 1 (the d̃ the
+                                    ///< normalized values were built from).
+  std::shared_ptr<AttackScratch> scratch = std::make_shared<AttackScratch>();
 };
+
+/// The context's folded forward (built on first use, then reused by every
+/// attack on this context).
+const GcnForwardContext& CachedForward(const AttackContext& ctx);
+
+/// The (n, h) X·W₁ rows behind CachedForward — the sparse candidate-edge
+/// views gather their local rows from this shared tensor.
+const Tensor& CachedXw1(const AttackContext& ctx);
+
+/// The clean graph's dense penalty support B = 11ᵀ − I − A (built on first
+/// use; requires a dense clean_adjacency).
+const Tensor& CachedPenaltyBase(const AttackContext& ctx);
 
 /// One attack query.
 struct AttackRequest {
@@ -67,6 +103,12 @@ class TargetedAttack {
 /// targeted-label constraint).
 std::vector<int64_t> DirectAddCandidates(const Tensor& adjacency,
                                          int64_t target,
+                                         const std::vector<int64_t>& labels,
+                                         int64_t required_label);
+
+/// Graph-based twin of DirectAddCandidates — O(n) with no dense adjacency,
+/// used by the sparse attack loops (identical candidate order).
+std::vector<int64_t> DirectAddCandidates(const Graph& graph, int64_t target,
                                          const std::vector<int64_t>& labels,
                                          int64_t required_label);
 

@@ -4,6 +4,9 @@
 #include <limits>
 #include <unordered_set>
 
+#include "src/graph/subgraph.h"
+#include "src/nn/sparse_forward.h"
+
 namespace geattack {
 
 int64_t BestCandidateByGradient(const Tensor& gradient, int64_t target,
@@ -17,24 +20,28 @@ int64_t BestCandidateByGradient(const Tensor& gradient, int64_t target,
       best = j;
     }
   }
-  // Only add an edge whose relaxed-gradient direction actually decreases
-  // the loss.
-  return best_score < 0.0 ? best : best;
+  return best;
 }
 
 std::vector<int64_t> FgaAttack::ExcludedNodes(const AttackContext&,
-                                              const Tensor&,
+                                              const Graph&,
                                               const AttackRequest&) const {
   return {};
 }
 
 AttackResult FgaAttack::Attack(const AttackContext& ctx,
                                const AttackRequest& request, Rng*) const {
+  return use_sparse_ ? AttackSparse(ctx, request)
+                     : AttackDense(ctx, request);
+}
+
+AttackResult FgaAttack::AttackDense(const AttackContext& ctx,
+                                    const AttackRequest& request) const {
   AttackResult result;
   result.adjacency = ctx.clean_adjacency;
-  const GcnForwardContext fwd = MakeForwardContext(*ctx.model,
-                                                   ctx.data->features);
+  const GcnForwardContext& fwd = CachedForward(ctx);
   const int64_t v = request.target_node;
+  Graph current = ctx.data->graph;
 
   for (int64_t step = 0; step < request.budget; ++step) {
     Var adj = Var::Leaf(result.adjacency, /*requires_grad=*/true, "A_hat");
@@ -53,7 +60,7 @@ AttackResult FgaAttack::Attack(const AttackContext& ctx,
 
     auto candidates = DirectAddCandidates(result.adjacency, v,
                                           ctx.data->labels, /*label*/ -1);
-    const auto excluded = ExcludedNodes(ctx, result.adjacency, request);
+    const auto excluded = ExcludedNodes(ctx, current, request);
     if (!excluded.empty()) {
       const std::unordered_set<int64_t> ex(excluded.begin(), excluded.end());
       candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
@@ -63,8 +70,68 @@ AttackResult FgaAttack::Attack(const AttackContext& ctx,
     const int64_t pick = BestCandidateByGradient(gradient, v, candidates);
     if (pick < 0) break;
     AddEdgeDense(&result.adjacency, v, pick);
+    current.AddEdge(v, pick);
     result.added_edges.emplace_back(v, pick);
   }
+  return result;
+}
+
+AttackResult FgaAttack::AttackSparse(const AttackContext& ctx,
+                                     const AttackRequest& request) const {
+  AttackResult result;
+  const Graph& clean = ctx.data->graph;
+  const int64_t v = request.target_node;
+  GEA_CHECK(targeted_ ? request.target_label >= 0 : true);
+
+  const std::vector<int64_t> candidates =
+      DirectAddCandidates(clean, v, ctx.data->labels, /*label*/ -1);
+  const SubgraphView view =
+      BuildSubgraphView(clean, v, /*hops=*/-1, candidates);
+  SparseAttackForward sf =
+      MakeSparseAttackForward(view, *ctx.model, CachedXw1(ctx));
+  const int64_t m = view.num_candidates();
+  std::vector<char> active(static_cast<size_t>(m), 1);
+  Graph current = clean;
+
+  for (int64_t step = 0; step < request.budget && m > 0; ++step) {
+    int64_t label = request.target_label;
+    if (!targeted_) {
+      label = ctx.model->LogitsFromGraph(current, ctx.data->features)
+                  .ArgMaxRow(v);
+    }
+    Var w = Var::Leaf(Tensor::Zeros(m, 1), /*requires_grad=*/true, "w");
+    Var loss =
+        NllRow(SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, w)),
+               view.target_local, label);
+    if (!targeted_) loss = Neg(loss);
+    const Tensor g = GradOne(loss, w).value();
+
+    std::unordered_set<int64_t> excluded;
+    for (int64_t j : ExcludedNodes(ctx, current, request)) excluded.insert(j);
+
+    int64_t pick = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int64_t k = 0; k < m; ++k) {
+      if (!active[static_cast<size_t>(k)]) continue;
+      if (excluded.count(view.candidates_global[static_cast<size_t>(k)]))
+        continue;
+      if (g.at(k, 0) < best) {
+        best = g.at(k, 0);
+        pick = k;
+      }
+    }
+    if (pick < 0) break;
+    const int64_t j = view.candidates_global[static_cast<size_t>(pick)];
+    CommitCandidate(&sf, pick);
+    active[static_cast<size_t>(pick)] = 0;
+    current.AddEdge(v, j);
+    result.added_edges.emplace_back(v, j);
+  }
+
+  // Densify only when the context carries a dense clean adjacency (large
+  // sparse-only contexts skip it).
+  if (ctx.clean_adjacency.rows() > 0)
+    result.adjacency = current.DenseAdjacency();
   return result;
 }
 

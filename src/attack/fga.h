@@ -8,6 +8,13 @@
 //     the paper uses this both as a baseline and to *choose* each target
 //     node's specific target label (§5.1);
 //   * FGA-T: minimize the loss of a specific target label ŷ (Eq. 4).
+//
+// Two execution paths: the historical dense one (gradient w.r.t. every
+// n x n adjacency entry, O(n²·h) per step) and the default sparse one,
+// where the only relaxed parameters are the candidate-edge values of a
+// SubgraphView and each step costs O((|E| + m)·h).  Both evaluate the same
+// gradient — q[v,j] + q[j,v] equals the candidate-value gradient — so they
+// pick identical edges up to floating-point roundoff.
 
 #ifndef GEATTACK_SRC_ATTACK_FGA_H_
 #define GEATTACK_SRC_ATTACK_FGA_H_
@@ -19,8 +26,11 @@ namespace geattack {
 /// Gradient-based add-edge attack.
 class FgaAttack : public TargetedAttack {
  public:
-  /// `targeted` selects FGA-T (true) vs. plain FGA (false).
-  explicit FgaAttack(bool targeted) : targeted_(targeted) {}
+  /// `targeted` selects FGA-T (true) vs. plain FGA (false); `use_sparse`
+  /// selects the candidate-edge-value path (default) vs. the dense n x n
+  /// relaxation.
+  explicit FgaAttack(bool targeted, bool use_sparse = true)
+      : targeted_(targeted), use_sparse_(use_sparse) {}
 
   std::string name() const override { return targeted_ ? "FGA-T" : "FGA"; }
 
@@ -29,14 +39,21 @@ class FgaAttack : public TargetedAttack {
 
  protected:
   /// Hook for FGA-T&E: returns candidate endpoints to exclude given the
-  /// current perturbed adjacency.  Base implementation excludes nothing.
+  /// current (possibly already perturbed) graph.  Base implementation
+  /// excludes nothing.
   virtual std::vector<int64_t> ExcludedNodes(const AttackContext& ctx,
-                                             const Tensor& adjacency,
+                                             const Graph& current,
                                              const AttackRequest& request)
       const;
 
  private:
+  AttackResult AttackDense(const AttackContext& ctx,
+                           const AttackRequest& request) const;
+  AttackResult AttackSparse(const AttackContext& ctx,
+                            const AttackRequest& request) const;
+
   bool targeted_;
+  bool use_sparse_;
 };
 
 /// Given the gradient Q = ∇_Â L of a loss to *minimize*, returns the

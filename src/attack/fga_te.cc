@@ -5,16 +5,20 @@
 namespace geattack {
 
 std::vector<int64_t> FgaTeAttack::ExcludedNodes(
-    const AttackContext& ctx, const Tensor& adjacency,
+    const AttackContext& ctx, const Graph& current,
     const AttackRequest& request) const {
   // Explain the model's current prediction at the target on the current
   // (possibly already perturbed) graph, and avoid the subgraph's nodes.
   const Tensor logits =
-      ctx.model->LogitsFromRaw(adjacency, ctx.data->features);
+      ctx.model->LogitsFromGraph(current, ctx.data->features);
   const int64_t predicted = logits.ArgMaxRow(request.target_node);
   GnnExplainer explainer(ctx.model, &ctx.data->features, explainer_config_);
   const Explanation explanation =
-      explainer.Explain(adjacency, request.target_node, predicted);
+      explainer_config_.sparse
+          ? explainer.ExplainGraph(current, request.target_node, predicted,
+                                   &CachedXw1(ctx))
+          : explainer.Explain(current.DenseAdjacency(), request.target_node,
+                              predicted);
   std::set<int64_t> nodes;
   for (const Edge& e : explanation.TopEdges(subgraph_size_)) {
     nodes.insert(e.u);

@@ -26,7 +26,7 @@ class FgaTeAttack : public FgaAttack {
 
  protected:
   std::vector<int64_t> ExcludedNodes(const AttackContext& ctx,
-                                     const Tensor& adjacency,
+                                     const Graph& current,
                                      const AttackRequest& request)
       const override;
 

@@ -3,15 +3,23 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/graph/subgraph.h"
+#include "src/nn/sparse_forward.h"
+
 namespace geattack {
 
 AttackResult IgAttack::Attack(const AttackContext& ctx,
                               const AttackRequest& request, Rng*) const {
   GEA_CHECK(request.target_label >= 0);
+  return config_.use_sparse ? AttackSparse(ctx, request)
+                            : AttackDense(ctx, request);
+}
+
+AttackResult IgAttack::AttackDense(const AttackContext& ctx,
+                                   const AttackRequest& request) const {
   AttackResult result;
   result.adjacency = ctx.clean_adjacency;
-  const GcnForwardContext fwd =
-      MakeForwardContext(*ctx.model, ctx.data->features);
+  const GcnForwardContext& fwd = CachedForward(ctx);
   const int64_t v = request.target_node;
 
   for (int64_t step = 0; step < request.budget; ++step) {
@@ -59,6 +67,76 @@ AttackResult IgAttack::Attack(const AttackContext& ctx,
     AddEdgeDense(&result.adjacency, v, best);
     result.added_edges.emplace_back(v, best);
   }
+  return result;
+}
+
+AttackResult IgAttack::AttackSparse(const AttackContext& ctx,
+                                    const AttackRequest& request) const {
+  AttackResult result;
+  const Graph& clean = ctx.data->graph;
+  const int64_t v = request.target_node;
+
+  const std::vector<int64_t> candidates =
+      DirectAddCandidates(clean, v, ctx.data->labels, /*label*/ -1);
+  const SubgraphView view =
+      BuildSubgraphView(clean, v, /*hops=*/-1, candidates);
+  SparseAttackForward sf =
+      MakeSparseAttackForward(view, *ctx.model, CachedXw1(ctx));
+  const int64_t m = view.num_candidates();
+  std::vector<char> active(static_cast<size_t>(m), 1);
+  Graph current = clean;
+
+  // Loss of the target label with candidate values `w`; gradient (m, 1).
+  auto grad_at = [&](const Tensor& w_tensor) {
+    Var w = Var::Leaf(w_tensor, /*requires_grad=*/true, "w");
+    Var loss =
+        NllRow(SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, w)),
+               view.target_local, request.target_label);
+    return GradOne(loss, w).value();
+  };
+
+  for (int64_t step = 0; step < request.budget && m > 0; ++step) {
+    std::vector<int64_t> pool;  // Candidate indices into the view.
+    for (int64_t k = 0; k < m; ++k)
+      if (active[static_cast<size_t>(k)]) pool.push_back(k);
+    if (pool.empty()) break;
+
+    if (config_.shortlist > 0 &&
+        static_cast<int64_t>(pool.size()) > config_.shortlist) {
+      const Tensor g = grad_at(Tensor::Zeros(m, 1));
+      std::sort(pool.begin(), pool.end(), [&](int64_t a, int64_t b) {
+        return g.at(a, 0) < g.at(b, 0);
+      });
+      pool.resize(static_cast<size_t>(config_.shortlist));
+    }
+
+    int64_t best = -1;
+    double best_ig = std::numeric_limits<double>::infinity();
+    Tensor w_tensor = Tensor::Zeros(m, 1);
+    for (int64_t k : pool) {
+      double ig = 0.0;
+      for (int64_t s = 1; s <= config_.steps; ++s) {
+        w_tensor.at(k, 0) =
+            static_cast<double>(s) / static_cast<double>(config_.steps);
+        ig += grad_at(w_tensor).at(k, 0);
+      }
+      w_tensor.at(k, 0) = 0.0;
+      ig /= static_cast<double>(config_.steps);
+      if (ig < best_ig) {
+        best_ig = ig;
+        best = k;
+      }
+    }
+    if (best < 0) break;
+    const int64_t j = view.candidates_global[static_cast<size_t>(best)];
+    CommitCandidate(&sf, best);
+    active[static_cast<size_t>(best)] = 0;
+    current.AddEdge(v, j);
+    result.added_edges.emplace_back(v, j);
+  }
+
+  if (ctx.clean_adjacency.rows() > 0)
+    result.adjacency = current.DenseAdjacency();
   return result;
 }
 

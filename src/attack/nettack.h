@@ -17,6 +17,12 @@ struct NettackConfig {
   /// χ²(1) likelihood-ratio cutoff (Nettack default).
   double degree_test_threshold = 0.004;
   int64_t degree_test_d_min = 2;
+  /// Incremental scoring path (default): candidates are scored with
+  /// LinearizedGcn::LogitsRowWithEdgeAdded on one normalized CSR with
+  /// incrementally-maintained degrees — O(two-hop volume · c) per candidate
+  /// instead of the dense path's O(n²) re-normalization.  Identical picks
+  /// up to floating-point roundoff.
+  bool use_sparse = true;
 };
 
 /// The Nettack baseline.
@@ -30,6 +36,11 @@ class Nettack : public TargetedAttack {
                       Rng* rng) const override;
 
  private:
+  AttackResult AttackDense(const AttackContext& ctx,
+                           const AttackRequest& request) const;
+  AttackResult AttackSparse(const AttackContext& ctx,
+                            const AttackRequest& request) const;
+
   NettackConfig config_;
 };
 

@@ -1,6 +1,11 @@
 #include "src/core/geattack.h"
 
+#include <cmath>
+#include <limits>
+
 #include "src/attack/fga.h"
+#include "src/graph/subgraph.h"
+#include "src/nn/sparse_forward.h"
 
 namespace geattack {
 
@@ -8,17 +13,24 @@ AttackResult GeAttack::Attack(const AttackContext& ctx,
                               const AttackRequest& request, Rng* rng) const {
   GEA_CHECK(rng != nullptr);
   GEA_CHECK(request.target_label >= 0);
+  return config_.use_sparse ? AttackSparse(ctx, request, rng)
+                            : AttackDense(ctx, request, rng);
+}
+
+AttackResult GeAttack::AttackDense(const AttackContext& ctx,
+                                   const AttackRequest& request,
+                                   Rng* rng) const {
   AttackResult result;
   result.adjacency = ctx.clean_adjacency;
   const int64_t n = result.adjacency.rows();
   const int64_t v = request.target_node;
   const int64_t label = request.target_label;
-  const GcnForwardContext fwd =
-      MakeForwardContext(*ctx.model, ctx.data->features);
+  const GcnForwardContext& fwd = CachedForward(ctx);
 
-  // B = 11ᵀ − I − A: penalty support (line 3).  Kept as a plain tensor;
-  // only row/column v matters for direct attacks.
-  Tensor b = Tensor::Ones(n, n) - Tensor::Identity(n) - ctx.clean_adjacency;
+  // B = 11ᵀ − I − A: penalty support (line 3).  The full matrix is a
+  // context-level cache; only row v matters for direct attacks, so the
+  // per-call state is one O(n) row that line 10's zeroing mutates locally.
+  Tensor b_row = CachedPenaltyBase(ctx).Row(v);
 
   // M⁰ is randomly initialized once (line 3) and re-used as the inner
   // loop's starting point in every outer iteration.
@@ -44,7 +56,7 @@ AttackResult GeAttack::Attack(const AttackContext& ctx,
     Var attack_loss = TargetedAttackLoss(fwd, adj, v, label);
     // Penalty: Σ_j M^T[v,j]·B[v,j] over the candidate neighbors of v.
     Var penalty =
-        Sum(Mul(SelectRow(mask, v), Constant(b.Row(v), "B_row")));
+        Sum(Mul(SelectRow(mask, v), Constant(b_row, "B_row")));
     Var total = Add(attack_loss, MulScalar(penalty, config_.lambda));
 
     // ----- Outer gradient and greedy edge selection (lines 9-10). -----
@@ -55,11 +67,97 @@ AttackResult GeAttack::Attack(const AttackContext& ctx,
     if (pick < 0) break;
     AddEdgeDense(&result.adjacency, v, pick);
     result.added_edges.emplace_back(v, pick);
-    if (!config_.keep_penalty_on_added) {
-      b.at(v, pick) = 0.0;
-      b.at(pick, v) = 0.0;
-    }
+    if (!config_.keep_penalty_on_added) b_row.at(0, pick) = 0.0;
   }
+  return result;
+}
+
+AttackResult GeAttack::AttackSparse(const AttackContext& ctx,
+                                    const AttackRequest& request,
+                                    Rng* rng) const {
+  AttackResult result;
+  const Graph& clean = ctx.data->graph;
+  const int64_t v = request.target_node;
+  const int64_t label = request.target_label;
+
+  const std::vector<int64_t> candidates =
+      DirectAddCandidates(clean, v, ctx.data->labels, /*label*/ -1);
+  const SubgraphView view =
+      BuildSubgraphView(clean, v, config_.hops, candidates);
+  SparseAttackForward sf =
+      MakeSparseAttackForward(view, *ctx.model, CachedXw1(ctx));
+  const int64_t m = view.num_candidates();
+  const int64_t num_slots = view.num_slots();
+
+  // M⁰ over the undirected edge slots (clean + candidate), drawn once and
+  // reused every outer iteration — the per-edge twin of the dense n x n
+  // draw.  The dense path symmetrizes its mask, so each undirected slot
+  // effectively starts at the mean of two independent normals: std
+  // scale/√2.  Scale 0 makes the path bit-comparable to the dense attack.
+  const Tensor mask_init =
+      config_.mask_init_scale > 0.0
+          ? rng->NormalTensor(num_slots, 1, 0.0,
+                              config_.mask_init_scale / std::sqrt(2.0))
+          : Tensor::Zeros(num_slots, 1);
+
+  // B restricted to the candidate slots: every candidate is a clean
+  // non-edge of row v, so its B entry starts at 1 and is zeroed on pick.
+  Tensor b_vec = Tensor::Ones(m, 1);
+  std::vector<char> active(static_cast<size_t>(m), 1);
+  Graph current = clean;
+
+  for (int64_t outer = 0; outer < request.budget && m > 0; ++outer) {
+    Var w = Var::Leaf(Tensor::Zeros(m, 1), /*requires_grad=*/true, "w");
+
+    // ----- Inner loop: differentiable explainer mimicry over the edge
+    // list.  The masked adjacency value of slot e is a_e·σ(μ_e), with
+    // a_e = 1 on (committed) edges and a_e = w_k on candidate slots, so
+    // M^T's dependence on the relaxed candidate values stays on-graph and
+    // the outer gradient is the same hypergradient as the dense path's.
+    Var mu = Var::Leaf(mask_init, /*requires_grad=*/true, "M0");
+    for (int64_t t = 0; t < config_.inner_steps; ++t) {
+      Var a_und = UndirectedValuesFromCandidates(sf, w);
+      Var masked = Mul(a_und, Sigmoid(mu));
+      Var values = DirectedFromUndirected(sf, masked);
+      Var inner_loss = NllRow(SparseGcnLogitsVar(sf, values),
+                              view.target_local, label);
+      Var p = GradOne(inner_loss, mu, {.create_graph = true});
+      // η/2: one undirected slot aggregates the gradient of the dense
+      // parameterization's two mirrored entries, whose symmetrized mask
+      // moves at half the per-entry rate.
+      mu = Sub(mu, MulScalar(p, 0.5 * config_.eta));
+    }
+
+    // ----- Outer objective: Eq. (7) over candidate values. -----
+    Var attack_loss =
+        NllRow(SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, w)),
+               view.target_local, label);
+    Var mu_cand = SpMM(view.cand_slot_take, mu);  // (m, 1) mask block.
+    Var penalty = Sum(Mul(mu_cand, Constant(b_vec, "B_cand")));
+    Var total = Add(attack_loss, MulScalar(penalty, config_.lambda));
+
+    // ----- Hypergradient over candidate values; greedy pick. -----
+    const Tensor q = GradOne(total, w).value();
+    int64_t pick = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int64_t k = 0; k < m; ++k) {
+      if (!active[static_cast<size_t>(k)]) continue;
+      if (q.at(k, 0) < best) {
+        best = q.at(k, 0);
+        pick = k;
+      }
+    }
+    if (pick < 0) break;
+    const int64_t j = view.candidates_global[static_cast<size_t>(pick)];
+    CommitCandidate(&sf, pick);
+    active[static_cast<size_t>(pick)] = 0;
+    current.AddEdge(v, j);
+    result.added_edges.emplace_back(v, j);
+    if (!config_.keep_penalty_on_added) b_vec.at(pick, 0) = 0.0;
+  }
+
+  if (ctx.clean_adjacency.rows() > 0)
+    result.adjacency = current.DenseAdjacency();
   return result;
 }
 

@@ -37,6 +37,21 @@ struct GeAttackConfig {
   /// NOT zeroed, so the penalty keeps suppressing their mask in later outer
   /// iterations.  Algorithm 1 zeroes them (false).
   bool keep_penalty_on_added = false;
+  /// Candidate-edge-value path: the relaxed adjacency, the explainer mask,
+  /// and the penalty all live on the target's SubgraphView edge list, so
+  /// one outer iteration (T inner steps + the hypergradient) costs
+  /// O(T·(|E_sub| + m)·h) instead of O(T·n²·h) — the only path that runs
+  /// at multi-10k nodes.  With mask_init_scale = 0 the two paths pick
+  /// identical edges; with a random init the sparse path draws one normal
+  /// per edge slot instead of n², so fixed-seed runs differ within noise —
+  /// which is why the default stays dense (the seed-pinned reference) and
+  /// large-scale callers opt in.
+  bool use_sparse = false;
+  /// Sparse view radius: -1 keeps every node (numerically exact); k >= 2
+  /// restricts the view to the k-hop ball around the target in the
+  /// augmented graph (boundary edges enter normalization as unmasked
+  /// constants — the standard subgraph-explanation approximation).
+  int hops = -1;
 };
 
 /// The joint GNN + GNNExplainer attack.
@@ -52,6 +67,11 @@ class GeAttack : public TargetedAttack {
   const GeAttackConfig& config() const { return config_; }
 
  private:
+  AttackResult AttackDense(const AttackContext& ctx,
+                           const AttackRequest& request, Rng* rng) const;
+  AttackResult AttackSparse(const AttackContext& ctx,
+                            const AttackRequest& request, Rng* rng) const;
+
   GeAttackConfig config_;
 };
 

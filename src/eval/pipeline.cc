@@ -46,9 +46,11 @@ Tensor PerturbedLogits(const AttackContext& ctx, const AttackResult& result,
   if (!sparse) {
     return ctx.model->LogitsFromRaw(result.adjacency, ctx.data->features);
   }
-  const CsrMatrix perturbed =
-      ApplyEdgeFlips(ctx.clean_csr, result.added_edges, /*removed=*/{});
-  return ctx.model->Logits(GcnNormalizeCsr(perturbed), ctx.data->features);
+  // One normalized clean CSR is shared across every target; each target
+  // only patches the values incident to its added edges.
+  const CsrMatrix perturbed = GcnRenormalizeAfterAdds(
+      ctx.clean_norm_csr, ctx.clean_degp1, result.added_edges);
+  return ctx.model->Logits(perturbed, ctx.data->features);
 }
 
 std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
@@ -121,12 +123,22 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
   return outcome;
 }
 
-AttackContext MakeAttackContext(const GraphData& data, const Gcn& model) {
+AttackContext MakeSparseAttackContext(const GraphData& data,
+                                      const Gcn& model) {
   AttackContext ctx;
   ctx.data = &data;
   ctx.model = &model;
-  ctx.clean_adjacency = data.graph.DenseAdjacency();
   ctx.clean_csr = data.graph.CsrAdjacency();
+  ctx.clean_norm_csr = GcnNormalizeCsr(ctx.clean_csr);
+  ctx.clean_degp1 = Tensor(data.num_nodes(), 1);
+  for (int64_t i = 0; i < data.num_nodes(); ++i)
+    ctx.clean_degp1.at(i, 0) = static_cast<double>(data.graph.Degree(i)) + 1.0;
+  return ctx;
+}
+
+AttackContext MakeAttackContext(const GraphData& data, const Gcn& model) {
+  AttackContext ctx = MakeSparseAttackContext(data, model);
+  ctx.clean_adjacency = data.graph.DenseAdjacency();
   return ctx;
 }
 

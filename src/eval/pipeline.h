@@ -89,8 +89,15 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
                                   const Explainer& explainer,
                                   const EvalConfig& eval_config, Rng* rng);
 
-/// Builds an AttackContext view over `data` and `model`.
+/// Builds an AttackContext view over `data` and `model`: dense + CSR clean
+/// adjacencies plus the shared normalized clean CSR and degree cache that
+/// batched multi-target evaluation reuses across targets.
 AttackContext MakeAttackContext(const GraphData& data, const Gcn& model);
+
+/// Sparse-only twin for graphs too large to densify: clean_adjacency stays
+/// empty, attacks must run their candidate-edge paths, and AttackResults
+/// carry only added_edges (use PerturbedLogits(..., sparse=true)).
+AttackContext MakeSparseAttackContext(const GraphData& data, const Gcn& model);
 
 }  // namespace geattack
 

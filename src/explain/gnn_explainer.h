@@ -36,6 +36,11 @@ struct GnnExplainerConfig {
   /// Mask initialization scale and seed.
   double init_scale = 0.1;
   uint64_t seed = 0;
+  /// When true, Explain() runs the edge-list path (ExplainGraph): the mask
+  /// lives on the k-hop subgraph's edges and every epoch costs
+  /// O(|E_sub|·h) instead of O(n²·h).  Implies subgraph-restricted
+  /// ranking.  Off by default so the dense inspector numerics stay put.
+  bool sparse = false;
 };
 
 /// Learns per-query adjacency masks for a fixed trained GCN.
@@ -49,6 +54,15 @@ class GnnExplainer : public Explainer {
   /// on `adjacency` and returns the ranked computation-subgraph edges.
   Explanation Explain(const Tensor& adjacency, int64_t node,
                       int64_t label) const override;
+
+  /// Sparse edge-list twin of Explain: the mask is one logit per edge of
+  /// `node`'s k-hop subgraph (SubgraphView), optimized through the CSR
+  /// forward, so one epoch costs O(|E_sub|·h).  Never densifies; this is
+  /// the path that explains multi-10k-node graphs.  `xw1_full` lets a
+  /// caller that already folded X·W₁ (e.g. CachedXw1 on an AttackContext)
+  /// skip the O(n·d·h) refold this query would otherwise pay.
+  Explanation ExplainGraph(const Graph& graph, int64_t node, int64_t label,
+                           const Tensor* xw1_full = nullptr) const;
 
   /// The explainer's loss L_Explainer (Eq. 2, structure-only form of Eq. 3)
   /// as an autodiff expression.  Exposed so GEAttack can mimic the mask

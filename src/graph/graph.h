@@ -111,6 +111,18 @@ CsrMatrix ApplyEdgeFlips(const CsrMatrix& adjacency,
                          const std::vector<Edge>& added,
                          const std::vector<Edge>& removed);
 
+/// Incremental GCN re-normalization after edge additions: given the
+/// *normalized* adjacency Ã of the current graph and its d̃ = degree + 1
+/// per node, returns Ã of (A + added).  Only entries incident to a touched
+/// node are recomputed — the merge copies the pattern and then rescales
+/// O(Σ_{touched} deg) values in place, versus GcnNormalizeCsr's full
+/// O(n + nnz) rebuild plus a CSR construction of the raw adjacency.  The
+/// eval pipeline reuses one normalized clean CSR across all targets this
+/// way.  `added` edges must be absent; repeated endpoints are fine.
+CsrMatrix GcnRenormalizeAfterAdds(const CsrMatrix& norm_adjacency,
+                                  const Tensor& degp1,
+                                  const std::vector<Edge>& added);
+
 /// Attributed graph with node labels: the unit of work for every
 /// experiment.  `labels[i]` in [0, num_classes).
 struct GraphData {

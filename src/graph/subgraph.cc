@@ -1,0 +1,243 @@
+#include "src/graph/subgraph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace geattack {
+
+namespace {
+
+/// CSR with at most one unit entry per row: row r carries a 1.0 at column
+/// col_of_row[r], or nothing when col_of_row[r] < 0.
+std::shared_ptr<const CsrMatrix> UnitSelector(
+    int64_t rows, int64_t cols, const std::vector<int64_t>& col_of_row) {
+  auto p = std::make_shared<CsrPattern>();
+  p->rows = rows;
+  p->cols = cols;
+  p->row_ptr.reserve(static_cast<size_t>(rows) + 1);
+  p->row_ptr.push_back(0);
+  for (int64_t r = 0; r < rows; ++r) {
+    if (col_of_row[static_cast<size_t>(r)] >= 0)
+      p->col_idx.push_back(col_of_row[static_cast<size_t>(r)]);
+    p->row_ptr.push_back(static_cast<int64_t>(p->col_idx.size()));
+  }
+  std::vector<double> values(p->col_idx.size(), 1.0);
+  return std::make_shared<const CsrMatrix>(std::move(p), std::move(values));
+}
+
+}  // namespace
+
+int64_t SubgraphView::EdgeSlot(int64_t u_local, int64_t v_local) const {
+  if (u_local == v_local) return -1;
+  const IndexPair key{std::min(u_local, v_local), std::max(u_local, v_local)};
+  const auto it = std::lower_bound(
+      edges_local.begin(), edges_local.end(), key,
+      [](const IndexPair& a, const IndexPair& b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+      });
+  if (it != edges_local.end() && it->u == key.u && it->v == key.v)
+    return static_cast<int64_t>(it - edges_local.begin());
+  // Candidate edges are all (target, c); scan the candidate block.
+  if (key.u == target_local || key.v == target_local) {
+    const int64_t other = key.u == target_local ? key.v : key.u;
+    for (size_t k = 0; k < candidates_local.size(); ++k)
+      if (candidates_local[k] == other)
+        return num_edges() + static_cast<int64_t>(k);
+  }
+  return -1;
+}
+
+SubgraphView BuildSubgraphView(
+    const Graph& graph, int64_t target, int hops,
+    const std::vector<int64_t>& candidates_global) {
+  const int64_t n = graph.num_nodes();
+  GEA_CHECK(target >= 0 && target < n);
+  for (int64_t c : candidates_global) {
+    GEA_CHECK(c >= 0 && c < n && c != target);
+    GEA_CHECK(!graph.HasEdge(target, c));
+  }
+
+  SubgraphView view;
+  view.candidates_global = candidates_global;
+  view.global_to_local.assign(static_cast<size_t>(n), -1);
+
+  // ----- Node set: hops-hop ball around the target in the augmented graph
+  // (the candidate edges put every candidate at distance 1). -----
+  if (hops < 0) {
+    view.nodes.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) view.nodes[static_cast<size_t>(i)] = i;
+  } else {
+    std::vector<int> dist(static_cast<size_t>(n), -1);
+    std::queue<int64_t> q;
+    dist[static_cast<size_t>(target)] = 0;
+    q.push(target);
+    if (hops >= 1) {
+      for (int64_t c : candidates_global) {
+        if (dist[static_cast<size_t>(c)] < 0) {
+          dist[static_cast<size_t>(c)] = 1;
+          q.push(c);
+        }
+      }
+    }
+    while (!q.empty()) {
+      const int64_t u = q.front();
+      q.pop();
+      if (dist[static_cast<size_t>(u)] >= hops) continue;
+      for (int64_t w : graph.Neighbors(u)) {
+        if (dist[static_cast<size_t>(w)] < 0) {
+          dist[static_cast<size_t>(w)] = dist[static_cast<size_t>(u)] + 1;
+          q.push(w);
+        }
+      }
+    }
+    for (int64_t i = 0; i < n; ++i)
+      if (dist[static_cast<size_t>(i)] >= 0) view.nodes.push_back(i);
+  }
+  for (size_t l = 0; l < view.nodes.size(); ++l)
+    view.global_to_local[static_cast<size_t>(view.nodes[l])] =
+        static_cast<int64_t>(l);
+  view.target_local = view.global_to_local[static_cast<size_t>(target)];
+  const int64_t ns = view.num_nodes();
+
+  view.candidates_local.reserve(candidates_global.size());
+  for (int64_t c : candidates_global) {
+    const int64_t lc = view.global_to_local[static_cast<size_t>(c)];
+    GEA_CHECK(lc >= 0);  // Candidates are in the ball by construction.
+    view.candidates_local.push_back(lc);
+  }
+  const int64_t m = view.num_candidates();
+
+  // ----- Induced clean edges and out-degrees. -----
+  view.out_degree = Tensor(ns, 1);
+  for (int64_t l = 0; l < ns; ++l) {
+    const int64_t g = view.nodes[static_cast<size_t>(l)];
+    int64_t internal = 0;
+    for (int64_t w : graph.Neighbors(g)) {
+      const int64_t lw = view.global_to_local[static_cast<size_t>(w)];
+      if (lw < 0) continue;
+      ++internal;
+      if (l < lw) view.edges_local.push_back({l, lw});
+    }
+    view.out_degree.at(l, 0) =
+        static_cast<double>(graph.Degree(g) - internal);
+  }
+  // edges_local is already canonical-sorted: outer loop ascends l and
+  // Neighbors() is an ordered set, so (l, lw) pairs with l < lw come out in
+  // (u, v) lexicographic order.
+  const int64_t num_edges = view.num_edges();
+  const int64_t num_slots = num_edges + m;
+
+  // ----- Augmented pattern: per-row sorted columns. -----
+  std::vector<std::vector<int64_t>> rows(static_cast<size_t>(ns));
+  for (int64_t l = 0; l < ns; ++l) rows[static_cast<size_t>(l)].push_back(l);
+  for (const IndexPair& e : view.edges_local) {
+    rows[static_cast<size_t>(e.u)].push_back(e.v);
+    rows[static_cast<size_t>(e.v)].push_back(e.u);
+  }
+  for (int64_t lc : view.candidates_local) {
+    rows[static_cast<size_t>(view.target_local)].push_back(lc);
+    rows[static_cast<size_t>(lc)].push_back(view.target_local);
+  }
+  auto pattern = std::make_shared<CsrPattern>();
+  pattern->rows = pattern->cols = ns;
+  pattern->row_ptr.reserve(static_cast<size_t>(ns) + 1);
+  pattern->row_ptr.push_back(0);
+  for (int64_t l = 0; l < ns; ++l) {
+    auto& row = rows[static_cast<size_t>(l)];
+    std::sort(row.begin(), row.end());
+    pattern->col_idx.insert(pattern->col_idx.end(), row.begin(), row.end());
+    pattern->row_ptr.push_back(static_cast<int64_t>(pattern->col_idx.size()));
+  }
+  const int64_t nnz = pattern->nnz();
+
+  // ----- Slot bookkeeping: classify every nnz position. -----
+  // slot_of_local_pair: for (u,v) with u < v, the undirected slot id.
+  view.slot_nnz.assign(static_cast<size_t>(num_slots), {-1, -1});
+  view.diag_nnz.assign(static_cast<size_t>(ns), -1);
+  std::vector<int64_t> slot_of_nnz(static_cast<size_t>(nnz), -1);
+  std::vector<int64_t> cand_of_nnz(static_cast<size_t>(nnz), -1);
+  std::vector<int64_t> row_of_nnz(static_cast<size_t>(nnz), -1);
+  // Candidate lookup for rows incident to the target.
+  std::vector<int64_t> cand_index_of_local(static_cast<size_t>(ns), -1);
+  for (int64_t k = 0; k < m; ++k)
+    cand_index_of_local[static_cast<size_t>(view.candidates_local[k])] = k;
+
+  // Walk rows, resolving each (i, j) to diag / clean-edge / candidate.
+  // Clean-edge slot ids are recovered by the same lexicographic order used
+  // to emit edges_local.
+  {
+    // Map canonical pair -> slot via binary search on edges_local.
+    auto edge_slot = [&view](int64_t u, int64_t v) {
+      const IndexPair key{std::min(u, v), std::max(u, v)};
+      const auto it = std::lower_bound(
+          view.edges_local.begin(), view.edges_local.end(), key,
+          [](const IndexPair& a, const IndexPair& b) {
+            return a.u != b.u ? a.u < b.u : a.v < b.v;
+          });
+      GEA_CHECK(it != view.edges_local.end() && it->u == key.u &&
+                it->v == key.v);
+      return static_cast<int64_t>(it - view.edges_local.begin());
+    };
+    for (int64_t i = 0; i < ns; ++i) {
+      for (int64_t e = pattern->row_ptr[i]; e < pattern->row_ptr[i + 1];
+           ++e) {
+        const int64_t j = pattern->col_idx[e];
+        row_of_nnz[static_cast<size_t>(e)] = i;
+        if (i == j) {
+          view.diag_nnz[static_cast<size_t>(i)] = e;
+          continue;
+        }
+        int64_t slot;
+        const bool target_row = i == view.target_local ||
+                                j == view.target_local;
+        const int64_t other = i == view.target_local ? j : i;
+        const int64_t cand =
+            target_row ? cand_index_of_local[static_cast<size_t>(other)] : -1;
+        if (cand >= 0) {
+          slot = num_edges + cand;
+          cand_of_nnz[static_cast<size_t>(e)] = cand;
+        } else {
+          slot = edge_slot(i, j);
+        }
+        slot_of_nnz[static_cast<size_t>(e)] = slot;
+        auto& pair = view.slot_nnz[static_cast<size_t>(slot)];
+        (pair.first < 0 ? pair.first : pair.second) = e;
+      }
+    }
+  }
+
+  // ----- Base values. -----
+  view.base_values = Tensor(nnz, 1);
+  for (int64_t e = 0; e < nnz; ++e) {
+    const int64_t slot = slot_of_nnz[static_cast<size_t>(e)];
+    view.base_values.at(e, 0) =
+        (slot < 0 /* diag */ || slot < num_edges) ? 1.0 : 0.0;
+  }
+  view.und_base = Tensor(num_slots, 1);
+  for (int64_t s = 0; s < num_edges; ++s) view.und_base.at(s, 0) = 1.0;
+
+  // ----- Constant operators. -----
+  view.slot_expand = UnitSelector(nnz, num_slots, slot_of_nnz);
+  view.cand_expand = UnitSelector(nnz, m, cand_of_nnz);
+  view.row_gather = UnitSelector(nnz, ns, row_of_nnz);
+  {
+    std::vector<int64_t> col_of_nnz(pattern->col_idx.begin(),
+                                    pattern->col_idx.end());
+    view.col_gather = UnitSelector(nnz, ns, col_of_nnz);
+  }
+  {
+    std::vector<int64_t> pad(static_cast<size_t>(num_slots), -1);
+    for (int64_t k = 0; k < m; ++k)
+      pad[static_cast<size_t>(num_edges + k)] = k;
+    view.cand_slot_pad = UnitSelector(num_slots, m, pad);
+    std::vector<int64_t> take(static_cast<size_t>(m));
+    for (int64_t k = 0; k < m; ++k)
+      take[static_cast<size_t>(k)] = num_edges + k;
+    view.cand_slot_take = UnitSelector(m, num_slots, take);
+  }
+
+  view.pattern = std::move(pattern);
+  return view;
+}
+
+}  // namespace geattack

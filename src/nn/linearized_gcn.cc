@@ -47,6 +47,54 @@ Tensor LinearizedGcn::LogitsRowFromNormalized(const CsrMatrix& norm_adj,
   return out;
 }
 
+Tensor LinearizedGcn::LogitsRowWithEdgeAdded(const CsrMatrix& norm_adj,
+                                             const std::vector<double>& degp1,
+                                             int64_t v, int64_t jnew) const {
+  GEA_CHECK(v >= 0 && v < norm_adj.rows());
+  GEA_CHECK(jnew >= 0 && jnew < norm_adj.rows() && jnew != v);
+  const CsrPattern& p = *norm_adj.pattern();
+  const std::vector<double>& val = norm_adj.values();
+  // Degree-rescaling factors of the two touched nodes; every stored
+  // normalized entry (a, b) becomes val·f(a)·f(b).
+  const double fv = std::sqrt(degp1[static_cast<size_t>(v)] /
+                              (degp1[static_cast<size_t>(v)] + 1.0));
+  const double fj = std::sqrt(degp1[static_cast<size_t>(jnew)] /
+                              (degp1[static_cast<size_t>(jnew)] + 1.0));
+  auto f = [&](int64_t i) { return i == v ? fv : (i == jnew ? fj : 1.0); };
+  const double new_entry =
+      1.0 / std::sqrt((degp1[static_cast<size_t>(v)] + 1.0) *
+                      (degp1[static_cast<size_t>(jnew)] + 1.0));
+
+  // row2 = Ã'_v,: · Ã' accumulated sparsely; Ã' = Ã rescaled + the trial
+  // entries (v, jnew) and (jnew, v).
+  std::vector<double> row2(static_cast<size_t>(norm_adj.cols()), 0.0);
+  auto expand = [&](int64_t k, double w_vk) {
+    for (int64_t e = p.row_ptr[k]; e < p.row_ptr[k + 1]; ++e) {
+      const int64_t l = p.col_idx[e];
+      row2[static_cast<size_t>(l)] +=
+          w_vk * val[static_cast<size_t>(e)] * f(k) * f(l);
+    }
+    // The trial edge extends row v with column jnew and row jnew with
+    // column v.
+    if (k == v) row2[static_cast<size_t>(jnew)] += w_vk * new_entry;
+    if (k == jnew) row2[static_cast<size_t>(v)] += w_vk * new_entry;
+  };
+  for (int64_t e = p.row_ptr[v]; e < p.row_ptr[v + 1]; ++e) {
+    const int64_t k = p.col_idx[e];
+    expand(k, val[static_cast<size_t>(e)] * fv * f(k));
+  }
+  expand(jnew, new_entry);
+
+  Tensor out(1, xw_.cols());
+  for (int64_t k = 0; k < norm_adj.cols(); ++k) {
+    const double w = row2[static_cast<size_t>(k)];
+    if (w == 0.0) continue;
+    for (int64_t c = 0; c < xw_.cols(); ++c)
+      out.at(0, c) += w * xw_.at(k, c);
+  }
+  return out;
+}
+
 namespace {
 
 std::vector<int64_t> AllDegrees(const Graph& g) {

@@ -42,6 +42,17 @@ class LinearizedGcn {
   Tensor LogitsRowFromNormalized(const CsrMatrix& norm_adj,
                                  int64_t node) const;
 
+  /// Surrogate logits row for `node` after *hypothetically* adding the
+  /// absent edge (node, j).  Since the 0/1 adjacency's normalized entries
+  /// are 1/√(d̃_u·d̃_v), the trial edge only rescales entries incident to
+  /// node or j by √(d̃/(d̃+1)); this walks the two-hop expansion applying
+  /// those factors on the fly — O(two-hop volume) per candidate, no CSR is
+  /// ever rebuilt.  `degp1` holds the current d̃ = degree + 1 per node
+  /// (Nettack maintains it incrementally across greedy picks).
+  Tensor LogitsRowWithEdgeAdded(const CsrMatrix& norm_adj,
+                                const std::vector<double>& degp1,
+                                int64_t node, int64_t j) const;
+
   int64_t num_classes() const { return xw_.cols(); }
 
  private:

@@ -122,6 +122,79 @@ TEST(GnnExplainerTest, DetectsFgaAdversarialEdges) {
   EXPECT_GT(total_ndcg / evaluated, 0.25);
 }
 
+TEST(GnnExplainerTest, SparseEdgeListPathDetectsAdversarialEdges) {
+  // The O(|E_sub|·h) ExplainGraph path must behave like an inspector: its
+  // mask ranks FGA-T's adversarial edges highly, within the k-hop subgraph.
+  Fixture f = MakeFixture(3);
+  Rng rng(34);
+  AttackContext ctx = MakeAttackContext(f.data, f.model);
+  auto targets = SelectTargetNodes(f.data, f.logits, f.split.test,
+                                   {.top_margin = 3, .bottom_margin = 3,
+                                    .random = 4},
+                                   &rng);
+  auto prepared = PrepareTargets(ctx, targets, &rng);
+  ASSERT_GE(prepared.size(), 1u);
+  if (prepared.size() > 4) prepared.resize(4);
+
+  GnnExplainerConfig cfg = FastExplainerConfig();
+  cfg.sparse = true;
+  GnnExplainer explainer(&f.model, &f.data.features, cfg);
+  const FgaAttack fga(/*targeted=*/true);
+  double total_ndcg = 0.0;
+  int64_t evaluated = 0;
+  for (const auto& t : prepared) {
+    AttackRequest req{t.node, t.target_label, t.budget};
+    AttackResult result = fga.Attack(ctx, req, &rng);
+    if (result.added_edges.empty()) continue;
+    const Graph perturbed = Graph::FromDense(result.adjacency);
+    const Tensor logits =
+        f.model.LogitsFromGraph(perturbed, f.data.features);
+    Explanation e = explainer.ExplainGraph(perturbed, t.node,
+                                           logits.ArgMaxRow(t.node));
+    // Subgraph-restricted ranking: every ranked edge is a real edge of the
+    // target's 2-hop neighborhood.
+    for (const ScoredEdge& se : e.ranked_edges)
+      EXPECT_TRUE(perturbed.HasEdge(se.edge.u, se.edge.v));
+    DetectionMetrics d = ComputeDetection(e, result.added_edges, 20, 15);
+    total_ndcg += d.ndcg;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 0);
+  EXPECT_GT(total_ndcg / evaluated, 0.25);
+}
+
+TEST(PgExplainerTest, SparseTrainMatchesDenseTrain) {
+  // TrainGraph gates exactly the edges the dense Train gates (out-of-ball
+  // edges stay unmasked constants in both), so the learned ψ — and hence
+  // the explanations — agree to roundoff.
+  Fixture f = MakeFixture(4);
+  std::vector<int64_t> instances(f.split.train.begin(),
+                                 f.split.train.begin() + 5);
+  const std::vector<int64_t> labels = PredictLabels(f.logits);
+
+  PgExplainerConfig cfg;
+  cfg.epochs = 10;
+  PgExplainer dense(&f.model, &f.data.features, cfg);
+  dense.Train(f.adjacency, instances, labels);
+  PgExplainerConfig sparse_cfg = cfg;
+  sparse_cfg.sparse = true;
+  PgExplainer sparse(&f.model, &f.data.features, sparse_cfg);
+  sparse.Train(f.adjacency, instances, labels);
+
+  EXPECT_LE(dense.params().w1.MaxAbsDiff(sparse.params().w1), 1e-7);
+  EXPECT_LE(dense.params().w2.MaxAbsDiff(sparse.params().w2), 1e-7);
+
+  const int64_t node = f.split.test[0];
+  const int64_t label = f.logits.ArgMaxRow(node);
+  Explanation de = dense.Explain(f.adjacency, node, label);
+  Explanation se = sparse.Explain(f.adjacency, node, label);
+  ASSERT_EQ(de.ranked_edges.size(), se.ranked_edges.size());
+  for (size_t i = 0; i < de.ranked_edges.size(); ++i) {
+    EXPECT_EQ(de.ranked_edges[i].edge, se.ranked_edges[i].edge);
+    EXPECT_NEAR(de.ranked_edges[i].weight, se.ranked_edges[i].weight, 1e-7);
+  }
+}
+
 TEST(PgExplainerTest, TrainsAndExplains) {
   Fixture f = MakeFixture(4);
   PgExplainerConfig cfg;

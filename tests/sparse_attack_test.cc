@@ -1,0 +1,256 @@
+// Dense-vs-sparse agreement tests for the attack loops: the candidate-edge
+// paths must pick the same adversarial edges (or reach the same attack loss
+// within 1e-6) as the historical dense n x n relaxations, and the
+// second-order candidate-value hypergradient must match finite differences.
+
+#include <cmath>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/attack/fga.h"
+#include "src/attack/ig_attack.h"
+#include "src/attack/nettack.h"
+#include "src/core/geattack.h"
+#include "src/core/geattack_pg.h"
+#include "src/eval/pipeline.h"
+#include "src/explain/gnn_explainer.h"
+#include "src/graph/generators.h"
+#include "src/graph/subgraph.h"
+#include "src/nn/sparse_forward.h"
+#include "src/nn/trainer.h"
+#include "tests/test_util.h"
+
+namespace geattack {
+namespace {
+
+struct Fixture {
+  GraphData data;
+  std::unique_ptr<Gcn> model;
+  AttackContext ctx;
+  std::vector<PreparedTarget> targets;
+};
+
+Fixture* SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture();
+    Rng rng(321);
+    CitationGraphConfig cfg;
+    cfg.num_nodes = 90;
+    cfg.num_edges = 240;
+    cfg.num_classes = 3;
+    cfg.feature_dim = 32;
+    f->data = KeepLargestConnectedComponent(GenerateCitationGraph(cfg, &rng));
+    Split split = MakeSplit(f->data, 0.1, 0.1, &rng);
+    TrainConfig tc;
+    tc.epochs = 40;
+    f->model = std::make_unique<Gcn>(TrainNewGcn(f->data, split, tc, &rng));
+    f->ctx = MakeAttackContext(f->data, *f->model);
+    Tensor logits = f->model->LogitsFromRaw(f->ctx.clean_adjacency,
+                                            f->data.features);
+    auto nodes = SelectTargetNodes(
+        f->data, logits, split.test,
+        {.top_margin = 2, .bottom_margin = 2, .random = 2}, &rng);
+    f->targets = PrepareTargets(f->ctx, nodes, &rng);
+    return f;
+  }();
+  return fixture;
+}
+
+void ExpectSameEdges(const AttackResult& a, const AttackResult& b,
+                     const char* what) {
+  ASSERT_EQ(a.added_edges.size(), b.added_edges.size()) << what;
+  for (size_t i = 0; i < a.added_edges.size(); ++i)
+    EXPECT_EQ(a.added_edges[i], b.added_edges[i]) << what << " edge " << i;
+}
+
+/// -log softmax(logits)[node, label] of the post-attack victim — the attack
+/// loss both paths minimize; used as the agreement fallback metric.
+double AttackLoss(const Fixture* f, const AttackResult& result,
+                  int64_t node, int64_t label) {
+  const Tensor logits = PerturbedLogits(f->ctx, result, /*sparse=*/true);
+  double maxv = logits.at(node, 0);
+  for (int64_t c = 1; c < logits.cols(); ++c)
+    maxv = std::max(maxv, logits.at(node, c));
+  double denom = 0.0;
+  for (int64_t c = 0; c < logits.cols(); ++c)
+    denom += std::exp(logits.at(node, c) - maxv);
+  return -(logits.at(node, label) - maxv - std::log(denom));
+}
+
+TEST(SparseAttackEquivalenceTest, FgaTargetedPicksIdenticalEdges) {
+  Fixture* f = SharedFixture();
+  ASSERT_GE(f->targets.size(), 3u);
+  const FgaAttack dense(/*targeted=*/true, /*use_sparse=*/false);
+  const FgaAttack sparse(/*targeted=*/true, /*use_sparse=*/true);
+  for (size_t i = 0; i < 3; ++i) {
+    const PreparedTarget& t = f->targets[i];
+    AttackRequest req{t.node, t.target_label, t.budget};
+    Rng r1(1), r2(1);
+    const AttackResult a = dense.Attack(f->ctx, req, &r1);
+    const AttackResult b = sparse.Attack(f->ctx, req, &r2);
+    ExpectSameEdges(a, b, "FGA-T");
+    EXPECT_NEAR(AttackLoss(f, a, t.node, t.target_label),
+                AttackLoss(f, b, t.node, t.target_label), 1e-6);
+  }
+}
+
+TEST(SparseAttackEquivalenceTest, FgaUntargetedPicksIdenticalEdges) {
+  Fixture* f = SharedFixture();
+  const FgaAttack dense(/*targeted=*/false, /*use_sparse=*/false);
+  const FgaAttack sparse(/*targeted=*/false, /*use_sparse=*/true);
+  const PreparedTarget& t = f->targets[0];
+  AttackRequest req{t.node, /*target_label=*/-1, t.budget};
+  Rng r1(2), r2(2);
+  ExpectSameEdges(dense.Attack(f->ctx, req, &r1),
+                  sparse.Attack(f->ctx, req, &r2), "FGA");
+}
+
+TEST(SparseAttackEquivalenceTest, IgAttackPicksIdenticalEdges) {
+  Fixture* f = SharedFixture();
+  IgAttackConfig cfg;
+  cfg.steps = 3;
+  cfg.shortlist = 12;
+  IgAttackConfig dense_cfg = cfg;
+  dense_cfg.use_sparse = false;
+  const IgAttack dense(dense_cfg);
+  const IgAttack sparse(cfg);
+  for (size_t i = 0; i < 2; ++i) {
+    const PreparedTarget& t = f->targets[i];
+    AttackRequest req{t.node, t.target_label, t.budget};
+    Rng r1(3), r2(3);
+    const AttackResult a = dense.Attack(f->ctx, req, &r1);
+    const AttackResult b = sparse.Attack(f->ctx, req, &r2);
+    ExpectSameEdges(a, b, "IG-Attack");
+  }
+}
+
+TEST(SparseAttackEquivalenceTest, NettackPicksIdenticalEdges) {
+  Fixture* f = SharedFixture();
+  NettackConfig cfg;
+  NettackConfig dense_cfg = cfg;
+  dense_cfg.use_sparse = false;
+  const Nettack dense(dense_cfg);
+  const Nettack sparse(cfg);
+  for (size_t i = 0; i < 3; ++i) {
+    const PreparedTarget& t = f->targets[i];
+    AttackRequest req{t.node, t.target_label, t.budget};
+    Rng r1(4), r2(4);
+    ExpectSameEdges(dense.Attack(f->ctx, req, &r1),
+                    sparse.Attack(f->ctx, req, &r2), "Nettack");
+  }
+}
+
+TEST(SparseAttackEquivalenceTest, GeAttackPicksIdenticalEdges) {
+  // With mask_init_scale = 0 both paths are deterministic and the sparse
+  // bilevel loop (per-edge mask, η/2 step, candidate penalty vector) is a
+  // faithful re-parameterization of the dense one — identical greedy picks
+  // and final attack loss.
+  Fixture* f = SharedFixture();
+  GeAttackConfig cfg;
+  cfg.mask_init_scale = 0.0;
+  cfg.inner_steps = 3;
+  GeAttackConfig sparse_cfg = cfg;
+  sparse_cfg.use_sparse = true;
+  const GeAttack dense(cfg);
+  const GeAttack sparse(sparse_cfg);
+  for (size_t i = 0; i < 2; ++i) {
+    const PreparedTarget& t = f->targets[i];
+    AttackRequest req{t.node, t.target_label, t.budget};
+    Rng r1(5), r2(5);
+    const AttackResult a = dense.Attack(f->ctx, req, &r1);
+    const AttackResult b = sparse.Attack(f->ctx, req, &r2);
+    ExpectSameEdges(a, b, "GEAttack");
+    EXPECT_NEAR(AttackLoss(f, a, t.node, t.target_label),
+                AttackLoss(f, b, t.node, t.target_label), 1e-6);
+  }
+}
+
+TEST(SparseAttackEquivalenceTest, GeAttackPgPicksIdenticalEdges) {
+  Fixture* f = SharedFixture();
+  PgExplainerConfig pg_cfg;
+  pg_cfg.epochs = 8;
+  PgExplainer pg(f->model.get(), &f->data.features, pg_cfg);
+  std::vector<int64_t> instances;
+  for (int64_t v = 0; v < 6; ++v) instances.push_back(v);
+  const Tensor logits = f->model->LogitsFromRaw(f->ctx.clean_adjacency,
+                                                f->data.features);
+  pg.Train(f->ctx.clean_adjacency, instances, PredictLabels(logits));
+
+  GeAttackPgConfig cfg;
+  GeAttackPgConfig dense_cfg = cfg;
+  dense_cfg.use_sparse = false;
+  const GeAttackPg dense(&pg, dense_cfg);
+  const GeAttackPg sparse(&pg, cfg);
+  const PreparedTarget& t = f->targets[0];
+  AttackRequest req{t.node, t.target_label, t.budget};
+  Rng r1(6), r2(6);
+  const AttackResult a = dense.Attack(f->ctx, req, &r1);
+  const AttackResult b = sparse.Attack(f->ctx, req, &r2);
+  ExpectSameEdges(a, b, "GEAttack-PG");
+}
+
+TEST(SparseAttackTest, RunsOnSparseOnlyContext) {
+  // No dense clean adjacency at all: the candidate-edge paths must still
+  // attack, and the result carries only the edge list.
+  Fixture* f = SharedFixture();
+  const AttackContext sparse_ctx =
+      MakeSparseAttackContext(f->data, *f->model);
+  const PreparedTarget& t = f->targets[0];
+  AttackRequest req{t.node, t.target_label, t.budget};
+  Rng rng(7);
+  GeAttackConfig cfg;
+  cfg.use_sparse = true;
+  const AttackResult result = GeAttack(cfg).Attack(sparse_ctx, req, &rng);
+  EXPECT_EQ(result.adjacency.rows(), 0);
+  EXPECT_GE(result.added_edges.size(), 1u);
+  for (const Edge& e : result.added_edges) {
+    EXPECT_TRUE(e.u == t.node || e.v == t.node);
+    EXPECT_FALSE(f->data.graph.HasEdge(e.u, e.v));
+  }
+  // The incremental eval path scores it without ever densifying.
+  const Tensor logits = PerturbedLogits(sparse_ctx, result, /*sparse=*/true);
+  EXPECT_EQ(logits.rows(), f->data.num_nodes());
+}
+
+TEST(SparseAttackTest, CandidateHypergradientMatchesFiniteDifferences) {
+  // First-order check of the *hypergradient*: the outer objective contains
+  // an inner mask-descent step, so d(total)/dw rides the second-order path
+  // through SpMMValues (SpmmValueGrad of SpmmValueGrad).
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t v = f->targets[0].node;
+  const int64_t label = f->targets[0].target_label;
+  std::vector<int64_t> candidates;
+  for (int64_t j = 0; j < g.num_nodes() && candidates.size() < 4; ++j)
+    if (j != v && !g.HasEdge(v, j)) candidates.push_back(j);
+  const SubgraphView view = BuildSubgraphView(g, v, 2, candidates);
+  const SparseAttackForward sf = MakeSparseAttackForward(
+      view, *f->model, f->data.features.MatMul(f->model->w1()));
+  Rng rng(11);
+  const Tensor mask0 =
+      rng.NormalTensor(view.num_slots(), 1, 0.0, 0.05);
+
+  auto fn = [&](const Var& w) -> Var {
+    Var mu = Var::Leaf(mask0, /*requires_grad=*/true, "M0");
+    for (int t = 0; t < 2; ++t) {
+      Var a_und = UndirectedValuesFromCandidates(sf, w);
+      Var masked = Mul(a_und, Sigmoid(mu));
+      Var values = DirectedFromUndirected(sf, masked);
+      Var inner = NllRow(SparseGcnLogitsVar(sf, values), view.target_local,
+                         label);
+      Var p = GradOne(inner, mu, {.create_graph = true});
+      mu = Sub(mu, MulScalar(p, 0.15));
+    }
+    Var attack = NllRow(
+        SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, w)),
+        view.target_local, label);
+    Var mu_cand = SpMM(view.cand_slot_take, mu);
+    return Add(attack, MulScalar(Sum(mu_cand), 2.0));
+  };
+  Rng wr(13);
+  const Tensor w0 = wr.UniformTensor(view.num_candidates(), 1, 0.2, 0.8);
+  geattack::testing::ExpectGradientsMatch(fn, w0, 5e-5);
+}
+
+}  // namespace
+}  // namespace geattack

@@ -1,0 +1,293 @@
+// Tests of the SubgraphView candidate-edge layer and the sparse
+// differentiable forward built on it: structural invariants, exact
+// agreement with the dense normalization/forward, and the incremental
+// CSR re-normalization and Nettack trial-row helpers.
+
+#include "src/graph/subgraph.h"
+
+#include <cmath>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/attack/attack.h"
+#include "src/eval/pipeline.h"
+#include "src/graph/generators.h"
+#include "src/nn/linearized_gcn.h"
+#include "src/nn/sparse_forward.h"
+#include "src/nn/trainer.h"
+#include "tests/test_util.h"
+
+namespace geattack {
+namespace {
+
+struct Fixture {
+  GraphData data;
+  std::unique_ptr<Gcn> model;
+  Tensor xw1;
+};
+
+Fixture* SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture();
+    Rng rng(77);
+    CitationGraphConfig cfg;
+    cfg.num_nodes = 80;
+    cfg.num_edges = 200;
+    cfg.num_classes = 3;
+    cfg.feature_dim = 24;
+    f->data = KeepLargestConnectedComponent(GenerateCitationGraph(cfg, &rng));
+    Split split = MakeSplit(f->data, 0.1, 0.1, &rng);
+    TrainConfig tc;
+    tc.epochs = 30;
+    f->model = std::make_unique<Gcn>(TrainNewGcn(f->data, split, tc, &rng));
+    f->xw1 = f->data.features.MatMul(f->model->w1());
+    return f;
+  }();
+  return fixture;
+}
+
+std::vector<int64_t> SomeCandidates(const Graph& g, int64_t target,
+                                    size_t max_count) {
+  std::vector<int64_t> candidates;
+  for (int64_t j = 0; j < g.num_nodes() && candidates.size() < max_count;
+       ++j) {
+    if (j == target || g.HasEdge(target, j)) continue;
+    candidates.push_back(j);
+  }
+  return candidates;
+}
+
+TEST(SubgraphViewTest, FullViewStructure) {
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t target = 0;
+  const auto candidates = SomeCandidates(g, target, 5);
+  const SubgraphView view = BuildSubgraphView(g, target, -1, candidates);
+
+  EXPECT_TRUE(view.full());
+  EXPECT_EQ(view.num_nodes(), g.num_nodes());
+  EXPECT_EQ(view.num_edges(), g.num_edges());
+  EXPECT_EQ(view.num_candidates(), static_cast<int64_t>(candidates.size()));
+  EXPECT_TRUE(view.pattern->CheckInvariants());
+  // nnz = 2 edges + 2 candidates + diagonal.
+  EXPECT_EQ(view.pattern->nnz(),
+            2 * g.num_edges() + 2 * view.num_candidates() + g.num_nodes());
+  // Full view: no out-of-view edges.
+  for (int64_t i = 0; i < view.num_nodes(); ++i)
+    EXPECT_EQ(view.out_degree.at(i, 0), 0.0);
+  // Every undirected slot has exactly two directed positions.
+  for (const auto& [a, b] : view.slot_nnz) {
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, 0);
+    EXPECT_NE(a, b);
+  }
+  // EdgeSlot round-trips edges and candidates.
+  for (int64_t s = 0; s < view.num_edges(); ++s) {
+    const IndexPair& e = view.edges_local[static_cast<size_t>(s)];
+    EXPECT_EQ(view.EdgeSlot(e.u, e.v), s);
+    EXPECT_EQ(view.EdgeSlot(e.v, e.u), s);
+  }
+  for (int64_t k = 0; k < view.num_candidates(); ++k) {
+    EXPECT_EQ(view.EdgeSlot(view.target_local,
+                            view.candidates_local[static_cast<size_t>(k)]),
+              view.num_edges() + k);
+  }
+}
+
+TEST(SubgraphViewTest, KHopBallAndOutDegrees) {
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t target = 3;
+  const auto candidates = SomeCandidates(g, target, 4);
+  const SubgraphView view = BuildSubgraphView(g, target, 2, candidates);
+
+  // Node set: the 2-hop ball around the target in the augmented graph.
+  Graph augmented = g;
+  for (int64_t c : candidates) augmented.AddEdge(target, c);
+  const auto expected = augmented.KHopNeighborhood(target, 2);
+  ASSERT_EQ(view.nodes.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(view.nodes[i], expected[i]);
+
+  // out_degree + internal degree == global degree.
+  for (int64_t l = 0; l < view.num_nodes(); ++l) {
+    const int64_t global = view.nodes[static_cast<size_t>(l)];
+    int64_t internal = 0;
+    for (const IndexPair& e : view.edges_local)
+      if (e.u == l || e.v == l) ++internal;
+    EXPECT_EQ(view.out_degree.at(l, 0) + internal, g.Degree(global));
+  }
+}
+
+TEST(SparseForwardTest, MatchesDenseNormalizationAndLogits) {
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t target = 1;
+  const auto candidates = SomeCandidates(g, target, 6);
+  const SubgraphView view = BuildSubgraphView(g, target, -1, candidates);
+  const SparseAttackForward sf =
+      MakeSparseAttackForward(view, *f->model, f->xw1);
+
+  // Relax two candidates to fractional values; the rest stay 0.
+  Tensor w = Tensor::Zeros(view.num_candidates(), 1);
+  w.at(0, 0) = 0.7;
+  w.at(2, 0) = 0.3;
+  Tensor dense_adj = g.DenseAdjacency();
+  dense_adj.at(target, candidates[0]) = 0.7;
+  dense_adj.at(candidates[0], target) = 0.7;
+  dense_adj.at(target, candidates[2]) = 0.3;
+  dense_adj.at(candidates[2], target) = 0.3;
+
+  const Var wv = Var::Leaf(w);
+  const Var logits =
+      SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, wv));
+  const Tensor dense_logits =
+      f->model->LogitsFromRaw(dense_adj, f->data.features);
+  // Local node l maps to global view.nodes[l] (identity on a full view).
+  EXPECT_LE(logits.value().MaxAbsDiff(dense_logits), 1e-9);
+}
+
+TEST(SparseForwardTest, KHopViewExactAtTargetRow) {
+  // A 2-hop view (the GCN's depth) with out-degree correction reproduces
+  // the dense logits *row* of the target exactly.
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t target = 5;
+  const auto candidates = SomeCandidates(g, target, 3);
+  const SubgraphView view = BuildSubgraphView(g, target, 2, candidates);
+  const SparseAttackForward sf =
+      MakeSparseAttackForward(view, *f->model, f->xw1);
+
+  Tensor w = Tensor::Zeros(view.num_candidates(), 1);
+  w.at(1, 0) = 0.5;
+  Tensor dense_adj = g.DenseAdjacency();
+  dense_adj.at(target, candidates[1]) = 0.5;
+  dense_adj.at(candidates[1], target) = 0.5;
+
+  const Var logits =
+      SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, Var::Leaf(w)));
+  const Tensor dense_logits =
+      f->model->LogitsFromRaw(dense_adj, f->data.features);
+  for (int64_t c = 0; c < dense_logits.cols(); ++c)
+    EXPECT_NEAR(logits.value().at(view.target_local, c),
+                dense_logits.at(target, c), 1e-9);
+}
+
+TEST(SparseForwardTest, CommitCandidateMatchesDiscreteEdge) {
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t target = 2;
+  const auto candidates = SomeCandidates(g, target, 4);
+  const SubgraphView view = BuildSubgraphView(g, target, -1, candidates);
+  SparseAttackForward sf = MakeSparseAttackForward(view, *f->model, f->xw1);
+  CommitCandidate(&sf, 1);
+
+  Graph perturbed = g;
+  perturbed.AddEdge(target, candidates[1]);
+  const Var logits = SparseGcnLogitsVar(
+      sf, RawValuesFromCandidates(
+              sf, Var::Leaf(Tensor::Zeros(view.num_candidates(), 1))));
+  const Tensor expected =
+      f->model->LogitsFromGraph(perturbed, f->data.features);
+  EXPECT_LE(logits.value().MaxAbsDiff(expected), 1e-9);
+}
+
+TEST(SparseForwardTest, CandidateGradientMatchesDenseAdjacencyGradient) {
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t target = 4;
+  const auto candidates = SomeCandidates(g, target, 8);
+  const SubgraphView view = BuildSubgraphView(g, target, -1, candidates);
+  const SparseAttackForward sf =
+      MakeSparseAttackForward(view, *f->model, f->xw1);
+
+  Var w = Var::Leaf(Tensor::Zeros(view.num_candidates(), 1), true, "w");
+  Var loss = NllRow(SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, w)),
+                    view.target_local, 1);
+  const Tensor gw = GradOne(loss, w).value();
+
+  const GcnForwardContext fwd = MakeForwardContext(*f->model,
+                                                   f->data.features);
+  Var adj = Var::Leaf(g.DenseAdjacency(), true, "A");
+  Var dense_loss = TargetedAttackLoss(fwd, adj, target, 1);
+  const Tensor q = GradOne(dense_loss, adj).value();
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    const double dense_score =
+        q.at(target, candidates[k]) + q.at(candidates[k], target);
+    EXPECT_NEAR(gw.at(static_cast<int64_t>(k), 0), dense_score, 1e-9);
+  }
+}
+
+TEST(SparseForwardTest, SecondOrderThroughNormalizedValues) {
+  // Double backward through the normalized candidate-value forward (the
+  // machinery the GEAttack hypergradient rides on).
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const int64_t target = 4;
+  const auto candidates = SomeCandidates(g, target, 3);
+  const SubgraphView view = BuildSubgraphView(g, target, 2, candidates);
+  const SparseAttackForward sf =
+      MakeSparseAttackForward(view, *f->model, f->xw1);
+  auto fn = [&](const Var& w) {
+    return NllRow(SparseGcnLogitsVar(sf, RawValuesFromCandidates(sf, w)),
+                  view.target_local, 1);
+  };
+  Rng rng(5);
+  Tensor w0 = rng.UniformTensor(view.num_candidates(), 1, 0.1, 0.9);
+  geattack::testing::ExpectGradientsMatch(fn, w0, 2e-5);
+  geattack::testing::ExpectSecondOrderMatch(fn, w0, 5e-4);
+}
+
+TEST(RenormalizeTest, MatchesFullNormalizationAfterAdds) {
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const CsrMatrix clean = g.CsrAdjacency();
+  const CsrMatrix norm_clean = GcnNormalizeCsr(clean);
+  Tensor degp1(g.num_nodes(), 1);
+  for (int64_t i = 0; i < g.num_nodes(); ++i)
+    degp1.at(i, 0) = static_cast<double>(g.Degree(i)) + 1.0;
+
+  // A batch of additions sharing endpoints (deltas > 1 on node 0).
+  std::vector<Edge> added;
+  for (int64_t j = 0; j < g.num_nodes() && added.size() < 3; ++j)
+    if (j != 0 && !g.HasEdge(0, j)) added.emplace_back(0, j);
+  ASSERT_EQ(added.size(), 3u);
+
+  const CsrMatrix incremental =
+      GcnRenormalizeAfterAdds(norm_clean, degp1, added);
+  const CsrMatrix full =
+      GcnNormalizeCsr(ApplyEdgeFlips(clean, added, /*removed=*/{}));
+  ASSERT_EQ(incremental.nnz(), full.nnz());
+  double max_diff = 0.0;
+  for (size_t e = 0; e < full.values().size(); ++e)
+    max_diff = std::max(max_diff,
+                        std::abs(incremental.values()[e] - full.values()[e]));
+  EXPECT_LE(max_diff, 1e-12);
+}
+
+TEST(LinearizedTrialRowTest, MatchesDenseTrialNormalization) {
+  Fixture* f = SharedFixture();
+  const Graph& g = f->data.graph;
+  const LinearizedGcn surrogate(*f->model, f->data.features);
+  const CsrMatrix norm = NormalizeAdjacencyCsr(g);
+  std::vector<double> degp1(static_cast<size_t>(g.num_nodes()));
+  for (int64_t i = 0; i < g.num_nodes(); ++i)
+    degp1[static_cast<size_t>(i)] = static_cast<double>(g.Degree(i)) + 1.0;
+
+  const int64_t v = 7;
+  const Tensor dense = g.DenseAdjacency();
+  int64_t checked = 0;
+  for (int64_t j = 0; j < g.num_nodes() && checked < 5; ++j) {
+    if (j == v || g.HasEdge(v, j)) continue;
+    ++checked;
+    Tensor trial = dense;
+    AddEdgeDense(&trial, v, j);
+    const Tensor expected = surrogate.LogitsRow(trial, v);
+    const Tensor got = surrogate.LogitsRowWithEdgeAdded(norm, degp1, v, j);
+    EXPECT_LE(got.MaxAbsDiff(expected), 1e-9) << "candidate " << j;
+  }
+  EXPECT_EQ(checked, 5);
+}
+
+}  // namespace
+}  // namespace geattack
