@@ -12,12 +12,17 @@
 //   ./bench_attack --quick         CI-sized sizes (n ∈ {300, 800}), small
 //                                  budgets; same JSON schema.
 //
+// Each size also measures multi-target throughput (targets/sec) through the
+// thread-pool driver: the serial (1-thread) driver vs GEATTACK_BENCH_ATTACK_
+// THREADS workers (default 4), with a hard gate that the parallel edge
+// picks are identical to the serial ones.
+//
 // Both modes end with a dense-vs-sparse equivalence gate at the smallest
 // size: FGA-T and GEAttack (mask_init_scale = 0) must each pick identical
 // edges or reach the same final attack loss within 1e-6 (the loss fallback
 // tolerates compiler-dependent roundoff flipping a near-tied argmin; the
 // unit tests additionally pin identical picks on fixed seeds).  The process
-// exits nonzero if the gate fails, so CI catches drift.
+// exits nonzero if either gate fails, so CI catches drift.
 
 #include <chrono>
 #include <cmath>
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/attack/driver.h"
 #include "src/attack/fga.h"
 #include "src/core/geattack.h"
 #include "src/eval/pipeline.h"
@@ -46,12 +52,13 @@ struct Scenario {
   GraphData data;
   Gcn model;
   AttackContext ctx;        // Dense + sparse, or sparse-only when large.
-  PreparedTarget target;
+  PreparedTarget target;    // First prepared target (single-target rows).
+  std::vector<PreparedTarget> targets;  // Multi-target throughput pool.
   bool dense_ok = false;
 };
 
 Scenario MakeScenario(int64_t n, bool dense_ok, int64_t feature_dim,
-                      int64_t budget_cap) {
+                      int64_t budget_cap, int64_t num_targets) {
   Rng rng(9000 + static_cast<uint64_t>(n));
   CitationGraphConfig cfg;
   cfg.num_nodes = n;
@@ -62,6 +69,7 @@ Scenario MakeScenario(int64_t n, bool dense_ok, int64_t feature_dim,
              Gcn({feature_dim, 16, 5}, &rng),
              AttackContext{},
              PreparedTarget{},
+             {},
              dense_ok};
   Split split = MakeSplit(s.data, 0.1, 0.1, &rng);
   TrainConfig tc;
@@ -71,19 +79,20 @@ Scenario MakeScenario(int64_t n, bool dense_ok, int64_t feature_dim,
   s.ctx = dense_ok ? MakeAttackContext(s.data, s.model)
                    : MakeSparseAttackContext(s.data, s.model);
 
-  // Target: a correctly-classified test node of degree >= 2 that the
+  // Targets: correctly-classified test nodes of degree >= 2 that the
   // untargeted FGA probe can flip (the paper's target-label protocol).
   const Tensor logits = s.model.LogitsFromGraph(s.data.graph,
                                                 s.data.features);
   for (int64_t node : split.test) {
+    if (static_cast<int64_t>(s.targets.size()) >= num_targets) break;
     if (s.data.graph.Degree(node) < 2) continue;
     if (logits.ArgMaxRow(node) != s.data.labels[node]) continue;
     auto prepared = PrepareTargets(s.ctx, {node}, &rng, /*sparse=*/true);
     if (prepared.empty()) continue;
-    s.target = prepared[0];
-    s.target.budget = std::min(s.target.budget, budget_cap);
-    break;
+    prepared[0].budget = std::min(prepared[0].budget, budget_cap);
+    s.targets.push_back(prepared[0]);
   }
+  if (!s.targets.empty()) s.target = s.targets.front();
   return s;
 }
 
@@ -92,14 +101,21 @@ struct TimedRun {
   AttackResult result;
 };
 
+/// Best-of-`reps` timing (identical results each rep — attacks are
+/// deterministic given the seed).  The cheap sparse configurations use
+/// reps > 1 to shave scheduler noise; the dense references stay at 1 rep
+/// because a single run already takes minutes.
 TimedRun TimeAttack(const Scenario& s, const TargetedAttack& attack,
-                    uint64_t seed) {
+                    uint64_t seed, int reps = 1) {
   TimedRun run;
   AttackRequest req{s.target.node, s.target.target_label, s.target.budget};
-  Rng rng(seed);
-  const double t0 = NowMs();
-  run.result = attack.Attack(s.ctx, req, &rng);
-  run.ms = NowMs() - t0;
+  for (int r = 0; r < reps; ++r) {
+    Rng rng(seed);
+    const double t0 = NowMs();
+    run.result = attack.Attack(s.ctx, req, &rng);
+    const double elapsed = NowMs() - t0;
+    if (r == 0 || elapsed < run.ms) run.ms = elapsed;
+  }
   return run;
 }
 
@@ -117,6 +133,15 @@ struct EquivalenceRow {
   std::string attack;
   bool identical_edges = false;
   double loss_delta = 0.0;
+};
+
+struct MultiTargetRow {
+  int64_t n = 0;
+  int64_t targets = 0;
+  int threads = 0;
+  double serial_ms = 0.0;    // Driver, num_threads = 1.
+  double threaded_ms = 0.0;  // Driver, num_threads = threads.
+  bool identical = false;    // Parallel picks == serial picks (gate).
 };
 
 /// -log softmax[target_label] of the post-attack victim via the sparse
@@ -181,15 +206,22 @@ int RunHarness(const std::string& json_path, bool quick) {
   const int64_t dense_max_n = quick ? 800 : 5000;
   const int64_t feature_dim = quick ? 64 : 128;
   const int64_t budget_cap = quick ? 2 : 3;
+  const int64_t num_targets = quick ? 4 : 8;
+  const int threads = [] {
+    const char* v = std::getenv("GEATTACK_BENCH_ATTACK_THREADS");
+    return (v != nullptr && std::atoi(v) > 0) ? std::atoi(v) : 4;
+  }();
 
   std::vector<Row> geattack_rows, fga_rows;
   std::vector<EquivalenceRow> equivalence;
+  std::vector<MultiTargetRow> multi_rows;
   bool gate_ok = true;
 
   for (int64_t n : sizes) {
     const bool dense_ok = n <= dense_max_n;
     std::cerr << "[bench_attack] n=" << n << ": building scenario...\n";
-    Scenario s = MakeScenario(n, dense_ok, feature_dim, budget_cap);
+    Scenario s = MakeScenario(n, dense_ok, feature_dim, budget_cap,
+                              num_targets);
     if (s.target.node < 0) {
       std::cerr << "[bench_attack] n=" << n << ": no flippable target\n";
       continue;
@@ -212,7 +244,8 @@ int RunHarness(const std::string& json_path, bool quick) {
     grow.edges = s.data.graph.num_edges();
     grow.budget = s.target.budget;
     grow.inner_steps = ge.inner_steps;
-    grow.sparse_ms = TimeAttack(s, GeAttack(ge_sparse), 101).ms;
+    const int sparse_reps = quick ? 2 : (n >= 10000 ? 2 : 3);
+    grow.sparse_ms = TimeAttack(s, GeAttack(ge_sparse), 101, sparse_reps).ms;
     std::cerr << "[bench_attack] GEAttack sparse " << grow.sparse_ms
               << " ms/target\n";
     if (dense_ok) {
@@ -227,7 +260,8 @@ int RunHarness(const std::string& json_path, bool quick) {
     frow.edges = grow.edges;
     frow.budget = grow.budget;
     frow.sparse_ms =
-        TimeAttack(s, FgaAttack(true, /*use_sparse=*/true), 102).ms;
+        TimeAttack(s, FgaAttack(true, /*use_sparse=*/true), 102,
+                   sparse_reps).ms;
     std::cerr << "[bench_attack] FGA-T sparse " << frow.sparse_ms
               << " ms/target\n";
     if (dense_ok) {
@@ -237,6 +271,42 @@ int RunHarness(const std::string& json_path, bool quick) {
                 << " ms/target\n";
     }
     fga_rows.push_back(frow);
+
+    // ----- Multi-target throughput: serial driver vs thread pool, same
+    // seeds, identical-picks gate. -----
+    if (static_cast<int64_t>(s.targets.size()) >= 2) {
+      const GeAttack mt_attack(ge_sparse);
+      std::vector<AttackRequest> requests;
+      for (const PreparedTarget& t : s.targets)
+        requests.push_back({t.node, t.target_label, t.budget});
+
+      MultiTargetRow mrow;
+      mrow.n = grow.n;
+      mrow.targets = static_cast<int64_t>(requests.size());
+      mrow.threads = threads;
+      AttackDriverConfig serial_cfg;
+      serial_cfg.num_threads = 1;
+      serial_cfg.base_seed = 909;
+      double t0 = NowMs();
+      const auto serial =
+          RunMultiTargetAttack(s.ctx, mt_attack, requests, serial_cfg);
+      mrow.serial_ms = NowMs() - t0;
+      AttackDriverConfig par_cfg = serial_cfg;
+      par_cfg.num_threads = threads;
+      t0 = NowMs();
+      const auto parallel =
+          RunMultiTargetAttack(s.ctx, mt_attack, requests, par_cfg);
+      mrow.threaded_ms = NowMs() - t0;
+      mrow.identical = serial.size() == parallel.size();
+      for (size_t i = 0; mrow.identical && i < serial.size(); ++i)
+        mrow.identical = SameEdges(serial[i], parallel[i]);
+      gate_ok = gate_ok && mrow.identical;
+      std::cerr << "[bench_attack] multi-target GEAttack x" << mrow.targets
+                << ": serial " << mrow.serial_ms << " ms, " << threads
+                << " threads " << mrow.threaded_ms << " ms, identical="
+                << (mrow.identical ? "yes" : "NO") << "\n";
+      multi_rows.push_back(mrow);
+    }
 
     // ----- Equivalence gate at the smallest size. -----
     if (n == sizes.front()) {
@@ -290,6 +360,23 @@ int RunHarness(const std::string& json_path, bool quick) {
   WriteRows(out, geattack_rows, /*with_inner=*/true);
   out << "  ],\n  \"fga_per_target\": [\n";
   WriteRows(out, fga_rows, /*with_inner=*/false);
+  out << "  ],\n  \"multi_target\": [\n";
+  for (size_t i = 0; i < multi_rows.size(); ++i) {
+    const MultiTargetRow& m = multi_rows[i];
+    const double serial_tps =
+        m.serial_ms > 0.0 ? 1000.0 * m.targets / m.serial_ms : 0.0;
+    const double threaded_tps =
+        m.threaded_ms > 0.0 ? 1000.0 * m.targets / m.threaded_ms : 0.0;
+    out << "    {\"n\":" << m.n << ",\"targets\":" << m.targets
+        << ",\"threads\":" << m.threads << ",\"serial_ms\":" << m.serial_ms
+        << ",\"threaded_ms\":" << m.threaded_ms
+        << ",\"serial_targets_per_sec\":" << serial_tps
+        << ",\"threaded_targets_per_sec\":" << threaded_tps
+        << ",\"speedup\":"
+        << (m.threaded_ms > 0.0 ? m.serial_ms / m.threaded_ms : 0.0)
+        << ",\"identical\":" << (m.identical ? "true" : "false") << "}"
+        << (i + 1 < multi_rows.size() ? "," : "") << "\n";
+  }
   out << "  ],\n  \"equivalence\": [\n";
   for (size_t i = 0; i < equivalence.size(); ++i) {
     const EquivalenceRow& e = equivalence[i];

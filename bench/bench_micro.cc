@@ -181,6 +181,10 @@ struct ForwardRow {
   int64_t edges = 0;
   double dense_ms = -1.0;  // < 0 means skipped (infeasible densely).
   double sparse_ms = 0.0;
+  // Pre-normalized CSR forwards: double vs float32 value storage
+  // (inference-only; the f32 path is opt-in everywhere).
+  double prenorm_ms = 0.0;
+  double prenorm_f32_ms = 0.0;
 };
 
 struct TrainRow {
@@ -239,9 +243,29 @@ int RunJsonHarness(const std::string& json_path) {
           },
           reps);
     }
+    {
+      // Kernel-only comparison on a prebuilt normalized CSR: double values
+      // vs float32 value storage (the eval-path option).  The f32
+      // conversion happens once outside the timed region so both lambdas
+      // time exactly the two SpMM passes.
+      const CsrMatrix norm = NormalizeAdjacencyCsr(data.graph);
+      const std::vector<float> f32 = ValuesToF32(norm.values());
+      f.prenorm_ms = TimeMs(
+          [&] {
+            benchmark::DoNotOptimize(model.Logits(norm, data.features));
+          },
+          reps);
+      f.prenorm_f32_ms = TimeMs(
+          [&] {
+            benchmark::DoNotOptimize(
+                model.LogitsF32(*norm.pattern(), f32, data.features));
+          },
+          reps);
+    }
     forward.push_back(f);
     std::cerr << "[bench_micro] n=" << f.n << " forward: sparse "
-              << f.sparse_ms << " ms, dense "
+              << f.sparse_ms << " ms (prenorm " << f.prenorm_ms << " ms, f32 "
+              << f.prenorm_f32_ms << " ms), dense "
               << (dense_ok ? std::to_string(f.dense_ms) + " ms"
                            : std::string("skipped"))
               << "\n";
@@ -299,7 +323,9 @@ int RunJsonHarness(const std::string& json_path) {
     const ForwardRow& f = forward[i];
     out << "    {\"n\":" << f.n << ",\"edges\":" << f.edges << ",";
     WriteNullableMs(out, "dense_ms", f.dense_ms);
-    out << ",\"sparse_ms\":" << f.sparse_ms << ",";
+    out << ",\"sparse_ms\":" << f.sparse_ms
+        << ",\"prenorm_ms\":" << f.prenorm_ms
+        << ",\"prenorm_f32_ms\":" << f.prenorm_f32_ms << ",";
     WriteNullableMs(out, "speedup",
                     f.dense_ms < 0.0 || f.sparse_ms <= 0.0
                         ? -1.0

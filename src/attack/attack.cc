@@ -6,12 +6,11 @@ const GcnForwardContext& CachedForward(const AttackContext& ctx) {
   GEA_CHECK(ctx.scratch != nullptr);
   GEA_CHECK(ctx.data != nullptr && ctx.model != nullptr);
   AttackScratch* s = ctx.scratch.get();
-  if (!s->fwd_built) {
+  std::call_once(s->fwd_once, [s, &ctx] {
     s->xw1 = ctx.data->features.MatMul(ctx.model->w1());
     s->fwd.xw1 = Constant(s->xw1, "xw1");
     s->fwd.w2 = Constant(ctx.model->w2(), "w2");
-    s->fwd_built = true;
-  }
+  });
   return s->fwd;
 }
 
@@ -23,13 +22,12 @@ const Tensor& CachedXw1(const AttackContext& ctx) {
 const Tensor& CachedPenaltyBase(const AttackContext& ctx) {
   GEA_CHECK(ctx.scratch != nullptr);
   AttackScratch* s = ctx.scratch.get();
-  if (!s->b_built) {
+  std::call_once(s->b_once, [s, &ctx] {
     const int64_t n = ctx.clean_adjacency.rows();
     GEA_CHECK(n > 0);  // Requires a dense context.
     s->b_base = Tensor::Ones(n, n) - Tensor::Identity(n) -
                 ctx.clean_adjacency;
-    s->b_built = true;
-  }
+  });
   return s->b_base;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,13 +27,14 @@ namespace geattack {
 /// Everything here is a deterministic function of (data, model), so hoisting
 /// it out of the per-call loops changes no numerics — it just stops every
 /// Attack call from redoing the O(n·d·h) weight fold (and, on the dense
-/// GEAttack path, the O(n²) penalty-support build).  Not thread-safe, like
-/// the rest of the library.
+/// GEAttack path, the O(n²) penalty-support build).  Each cache is guarded
+/// by a once_flag so concurrent attack workers (src/attack/driver.h) can
+/// race on first use; after initialization all access is read-only.
 struct AttackScratch {
-  bool fwd_built = false;
+  std::once_flag fwd_once;
   GcnForwardContext fwd;  ///< Folded attack-time forward (X·W₁, W₂).
   Tensor xw1;             ///< (n, h) value behind fwd.xw1, for sparse views.
-  bool b_built = false;
+  std::once_flag b_once;
   Tensor b_base;  ///< B = 11ᵀ − I − A of the clean graph (dense GEAttack).
 };
 

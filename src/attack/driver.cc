@@ -1,0 +1,150 @@
+#include "src/attack/driver.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace geattack {
+
+uint64_t TargetSeed(uint64_t base_seed, int64_t target_index) {
+  // SplitMix64 finalizer over the combined state.  The golden-ratio
+  // increment separates consecutive target indices far apart in state
+  // space; the two xor-shift-multiply rounds mix every input bit into
+  // every output bit, so per-target engines (mt19937_64 seeded with this)
+  // see unrelated streams.
+  uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<uint64_t>(target_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// Per-worker target queues with stealing.  Each worker pops from the front
+/// of its own queue and, when empty, steals from the *back* of the busiest
+/// other queue — classic work stealing at per-target granularity (a mutex
+/// per queue is plenty at this grain; tasks run for milliseconds to
+/// seconds).
+class StealingQueues {
+ public:
+  StealingQueues(int64_t num_tasks, int num_workers)
+      : queues_(static_cast<size_t>(num_workers)),
+        mutexes_(static_cast<size_t>(num_workers)) {
+    // Round-robin initial distribution keeps neighboring targets (often
+    // similar cost) spread across workers.
+    for (int64_t t = 0; t < num_tasks; ++t)
+      queues_[static_cast<size_t>(t % num_workers)].push_back(t);
+  }
+
+  /// Next task for `worker`, or -1 when every queue is drained.
+  int64_t Pop(int worker) {
+    {
+      std::lock_guard<std::mutex> lock(mutexes_[static_cast<size_t>(worker)]);
+      auto& q = queues_[static_cast<size_t>(worker)];
+      if (!q.empty()) {
+        const int64_t t = q.front();
+        q.pop_front();
+        return t;
+      }
+    }
+    // Steal from the victim with the most remaining work.
+    const int n = static_cast<int>(queues_.size());
+    for (int attempt = 0; attempt < n; ++attempt) {
+      int victim = -1;
+      size_t best = 0;
+      for (int w = 0; w < n; ++w) {
+        if (w == worker) continue;
+        std::lock_guard<std::mutex> lock(mutexes_[static_cast<size_t>(w)]);
+        if (queues_[static_cast<size_t>(w)].size() > best) {
+          best = queues_[static_cast<size_t>(w)].size();
+          victim = w;
+        }
+      }
+      if (victim < 0) return -1;
+      std::lock_guard<std::mutex> lock(mutexes_[static_cast<size_t>(victim)]);
+      auto& q = queues_[static_cast<size_t>(victim)];
+      if (q.empty()) continue;  // Raced; rescan.
+      const int64_t t = q.back();
+      q.pop_back();
+      return t;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::deque<int64_t>> queues_;
+  std::vector<std::mutex> mutexes_;
+};
+
+void WarmSharedCaches(const AttackContext& ctx) {
+  // Build the lazily-initialized shared structures every attacker touches
+  // before workers spawn.  The once_flags make concurrent first use safe
+  // anyway; warming just keeps the folds off the critical path of one
+  // unlucky worker.  CachedPenaltyBase is deliberately NOT warmed: it is
+  // O(n²), only the dense GEAttack paths read it, and its call_once covers
+  // them.
+  CachedForward(ctx);
+  if (!ctx.clean_csr.empty()) ctx.clean_csr.pattern()->Transpose();
+  if (!ctx.clean_norm_csr.empty()) ctx.clean_norm_csr.pattern()->Transpose();
+}
+
+}  // namespace
+
+std::vector<AttackResult> RunMultiTargetAttack(
+    const AttackContext& ctx, const TargetedAttack& attack,
+    const std::vector<AttackRequest>& requests,
+    const AttackDriverConfig& config) {
+  std::vector<AttackResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  auto run_one = [&](int64_t i) {
+    Rng rng(TargetSeed(config.base_seed, i));
+    results[static_cast<size_t>(i)] =
+        attack.Attack(ctx, requests[static_cast<size_t>(i)], &rng);
+  };
+
+  const int threads = static_cast<int>(
+      std::min<int64_t>(std::max(config.num_threads, 1),
+                        static_cast<int64_t>(requests.size())));
+  if (threads <= 1) {
+    for (int64_t i = 0; i < static_cast<int64_t>(requests.size()); ++i)
+      run_one(i);
+    return results;
+  }
+
+  WarmSharedCaches(ctx);
+#ifdef _OPENMP
+  // Split the machine's OpenMP budget across the workers so the row-parallel
+  // kernels inside each attack don't oversubscribe cores threads-fold.  The
+  // ICV is per-thread, and OpenMP team size never affects kernel *values*
+  // (rows are whole-row assigned, reductions never split), so this is a
+  // pure scheduling knob.
+  const int omp_budget = std::max(1, omp_get_max_threads() / threads);
+#endif
+  StealingQueues queues(static_cast<int64_t>(requests.size()), threads);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&queues, &run_one, w
+#ifdef _OPENMP
+                          ,
+                          omp_budget
+#endif
+    ] {
+#ifdef _OPENMP
+      omp_set_num_threads(omp_budget);
+#endif
+      for (int64_t t = queues.Pop(w); t >= 0; t = queues.Pop(w)) run_one(t);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+}  // namespace geattack

@@ -1,0 +1,72 @@
+// Parallel multi-target attack driver.
+//
+// The paper's evaluation protocol attacks ~40 victim nodes per dataset and
+// seed, and each targeted attack is independent of every other: the context
+// (trained model, clean CSR, folded X·W₁) is read-only, and all mutable
+// state (SubgraphView, SparseAttackForward, autodiff graphs) is built per
+// target.  That makes the per-target loop embarrassingly parallel — this
+// module runs it on a work-stealing thread pool.
+//
+// Determinism contract: results are *bit-identical* to running the targets
+// one by one in a single thread, regardless of thread count or scheduling.
+// Two properties deliver that:
+//
+//   1. RNG isolation.  Each target gets its own seeded stream,
+//      Rng(TargetSeed(base_seed, i)), instead of consuming draws from a
+//      shared sequential stream — so the draws a target sees cannot depend
+//      on which targets ran before it.
+//   2. Kernel determinism.  Every floating-point kernel in the library
+//      accumulates each output element sequentially (see SpmmAccumulate in
+//      src/tensor/csr.cc); OpenMP row-parallelism assigns whole rows to
+//      threads and never splits a reduction, so a target's attack computes
+//      the same bits no matter which worker runs it or what else runs
+//      concurrently.
+//
+// Shared-state audit (what makes concurrent Attack calls safe):
+//   * AttackScratch caches (CachedForward / CachedXw1 / CachedPenaltyBase)
+//     are once_flag-guarded; the driver additionally pre-warms them so
+//     workers only ever read.
+//   * CsrPattern::Transpose() is call_once-cached — concurrent SpMM
+//     backwards on the shared clean/normalized CSR patterns are safe.
+//   * The autodiff node-id counter is atomic; graphs themselves are
+//     per-target.
+//   * Everything else a worker touches (Graph copies, Tensors, views) is
+//     built inside the task.
+
+#ifndef GEATTACK_SRC_ATTACK_DRIVER_H_
+#define GEATTACK_SRC_ATTACK_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attack/attack.h"
+
+namespace geattack {
+
+/// The per-target RNG seed: a SplitMix64 finalizer mix of (base_seed,
+/// target_index).  Consecutive indices land in statistically independent
+/// streams, and the mapping is stable across thread counts — it *is* the
+/// determinism anchor of the driver.
+uint64_t TargetSeed(uint64_t base_seed, int64_t target_index);
+
+struct AttackDriverConfig {
+  /// Worker threads.  <= 1 runs the targets inline in the calling thread
+  /// (same seeds, same results).  Values above the target count are clamped.
+  int num_threads = 1;
+  /// Base seed of the per-target streams.
+  uint64_t base_seed = 0;
+};
+
+/// Runs `attack` on every request against the shared read-only `ctx` and
+/// returns results in request order.  Bit-identical output for any
+/// `num_threads`.  Workers steal whole targets from each other's queues, so
+/// one slow target (e.g. a hub node with a huge candidate set) does not
+/// serialize the tail.
+std::vector<AttackResult> RunMultiTargetAttack(
+    const AttackContext& ctx, const TargetedAttack& attack,
+    const std::vector<AttackRequest>& requests,
+    const AttackDriverConfig& config = {});
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_ATTACK_DRIVER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/attack/driver.h"
 #include "src/attack/fga.h"
 
 namespace geattack {
@@ -42,7 +43,7 @@ std::vector<int64_t> SelectTargetNodes(const GraphData& data,
 }
 
 Tensor PerturbedLogits(const AttackContext& ctx, const AttackResult& result,
-                       bool sparse) {
+                       bool sparse, bool f32_values) {
   if (!sparse) {
     return ctx.model->LogitsFromRaw(result.adjacency, ctx.data->features);
   }
@@ -50,7 +51,8 @@ Tensor PerturbedLogits(const AttackContext& ctx, const AttackResult& result,
   // only patches the values incident to its added edges.
   const CsrMatrix perturbed = GcnRenormalizeAfterAdds(
       ctx.clean_norm_csr, ctx.clean_degp1, result.added_edges);
-  return ctx.model->Logits(perturbed, ctx.data->features);
+  return f32_values ? ctx.model->LogitsF32(perturbed, ctx.data->features)
+                    : ctx.model->Logits(perturbed, ctx.data->features);
 }
 
 std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
@@ -88,14 +90,10 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
   if (targets.empty()) return outcome;
   RunningStats asr, asr_t, precision, recall, f1, ndcg;
 
-  for (const PreparedTarget& t : targets) {
-    AttackRequest request;
-    request.target_node = t.node;
-    request.target_label = t.target_label;
-    request.budget = t.budget;
-    const AttackResult result = attack.Attack(ctx, request, rng);
-
-    const Tensor logits = PerturbedLogits(ctx, result, eval_config.sparse);
+  // Scores one target's attack outcome (logits, detection) into the stats.
+  auto inspect = [&](const PreparedTarget& t, const AttackResult& result) {
+    const Tensor logits = PerturbedLogits(ctx, result, eval_config.sparse,
+                                          eval_config.f32_values);
     const int64_t predicted = logits.ArgMaxRow(t.node);
     asr.Add(predicted != t.true_label ? 1.0 : 0.0);
     asr_t.Add(predicted == t.target_label ? 1.0 : 0.0);
@@ -111,6 +109,30 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
     recall.Add(d.recall);
     f1.Add(d.f1);
     ndcg.Add(d.ndcg);
+  };
+
+  if (eval_config.attack_threads >= 1) {
+    // Thread-pool driver: independent per-target streams seeded off one
+    // draw from `rng`, so the whole evaluation still replays from the
+    // caller's single seed.  Buffering every result is inherent to the
+    // fan-out (and bounded: sparse contexts carry edge lists only).
+    std::vector<AttackRequest> requests;
+    requests.reserve(targets.size());
+    for (const PreparedTarget& t : targets)
+      requests.push_back({t.node, t.target_label, t.budget});
+    AttackDriverConfig driver_config;
+    driver_config.num_threads = eval_config.attack_threads;
+    driver_config.base_seed = rng->engine()();
+    const std::vector<AttackResult> results =
+        RunMultiTargetAttack(ctx, attack, requests, driver_config);
+    for (size_t i = 0; i < targets.size(); ++i) inspect(targets[i], results[i]);
+  } else {
+    // Legacy serial loop on the shared rng stream, one live result at a
+    // time (a dense-context AttackResult holds an n x n adjacency).
+    for (const PreparedTarget& t : targets) {
+      AttackRequest request{t.node, t.target_label, t.budget};
+      inspect(t, attack.Attack(ctx, request, rng));
+    }
   }
 
   outcome.asr = asr.mean();

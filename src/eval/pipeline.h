@@ -62,8 +62,11 @@ std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
 /// multiplies the n x n adjacency (O(n²·h)); sparse mode applies
 /// `result.added_edges` to the clean CSR adjacency incrementally and runs
 /// the SpMM forward (O(|E|·h)).  Both agree to floating-point roundoff.
+/// `f32_values` additionally stores the sparse adjacency values as float32
+/// (SpmmRawF32) — inference-only, ~1e-7 relative logit error, off by
+/// default so every gradient/equivalence path stays double.
 Tensor PerturbedLogits(const AttackContext& ctx, const AttackResult& result,
-                       bool sparse);
+                       bool sparse, bool f32_values = false);
 
 /// Aggregated outcome of one attacker over a set of prepared targets.
 struct JointAttackOutcome {
@@ -79,10 +82,22 @@ struct EvalConfig {
   int64_t k = 15;              ///< K.
   /// Compute post-attack victim logits on the sparse CSR path.
   bool sparse = false;
+  /// Store post-attack adjacency values as float32 for the sparse logits
+  /// (inference-only; see PerturbedLogits).  Off by default.
+  bool f32_values = false;
+  /// Attack-phase parallelism.  0 keeps the legacy serial loop in which
+  /// every attack consumes draws from the shared `rng` stream (the
+  /// fixed-seed pins of integration_test ride on that exact sequence).
+  /// >= 1 routes the attacks through the multi-target driver
+  /// (src/attack/driver.h) with one independent per-target RNG stream
+  /// seeded off `rng` — bit-identical results for any thread count, so 1
+  /// is the serial reference and N is the same answer, faster.
+  int attack_threads = 0;
 };
 
 /// Runs `attack` on every prepared target and inspects each perturbed graph
-/// with `explainer`.
+/// with `explainer`.  With `eval_config.attack_threads >= 1` the attack
+/// phase fans out over the thread-pool driver (see EvalConfig).
 JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
                                   const TargetedAttack& attack,
                                   const std::vector<PreparedTarget>& targets,

@@ -156,7 +156,6 @@ SubgraphView BuildSubgraphView(
   view.diag_nnz.assign(static_cast<size_t>(ns), -1);
   std::vector<int64_t> slot_of_nnz(static_cast<size_t>(nnz), -1);
   std::vector<int64_t> cand_of_nnz(static_cast<size_t>(nnz), -1);
-  std::vector<int64_t> row_of_nnz(static_cast<size_t>(nnz), -1);
   // Candidate lookup for rows incident to the target.
   std::vector<int64_t> cand_index_of_local(static_cast<size_t>(ns), -1);
   for (int64_t k = 0; k < m; ++k)
@@ -182,7 +181,6 @@ SubgraphView BuildSubgraphView(
       for (int64_t e = pattern->row_ptr[i]; e < pattern->row_ptr[i + 1];
            ++e) {
         const int64_t j = pattern->col_idx[e];
-        row_of_nnz[static_cast<size_t>(e)] = i;
         if (i == j) {
           view.diag_nnz[static_cast<size_t>(i)] = e;
           continue;
@@ -219,12 +217,6 @@ SubgraphView BuildSubgraphView(
   // ----- Constant operators. -----
   view.slot_expand = UnitSelector(nnz, num_slots, slot_of_nnz);
   view.cand_expand = UnitSelector(nnz, m, cand_of_nnz);
-  view.row_gather = UnitSelector(nnz, ns, row_of_nnz);
-  {
-    std::vector<int64_t> col_of_nnz(pattern->col_idx.begin(),
-                                    pattern->col_idx.end());
-    view.col_gather = UnitSelector(nnz, ns, col_of_nnz);
-  }
   {
     std::vector<int64_t> pad(static_cast<size_t>(num_slots), -1);
     for (int64_t k = 0; k < m; ++k)

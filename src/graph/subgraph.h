@@ -14,8 +14,9 @@
 // Because every edge the attack could ever add already has a slot, the
 // entire greedy outer loop is values-only: committing a picked edge writes
 // 1.0 into its two slots, and no pattern is ever rebuilt.  The view also
-// carries the constant sparse operators (slot expansion, row/column degree
-// gathers) the differentiable forward in src/nn/sparse_forward.h needs, so
+// carries the constant slot-expansion operators the differentiable forward
+// in src/nn/sparse_forward.h needs (the degree gathers of normalization are
+// expressed through the pattern itself by the fused GcnNormValues node), so
 // gradients — and the second-order explainer hypergradient — flow through
 // candidate-edge *values* instead of dense n x n adjacencies.
 //
@@ -93,10 +94,9 @@ struct SubgraphView {
   std::shared_ptr<const CsrMatrix> cand_slot_pad;
   /// (m, S): selects the candidate block of an (S,1) slot vector.
   std::shared_ptr<const CsrMatrix> cand_slot_take;
-  /// (nnz, n_sub): gathers a per-node vector at each slot's row index.
-  std::shared_ptr<const CsrMatrix> row_gather;
-  /// (nnz, n_sub): gathers a per-node vector at each slot's column index.
-  std::shared_ptr<const CsrMatrix> col_gather;
+  // (Per-slot row/column degree gathers used to live here as explicit
+  // selector matrices; the fused GcnNormValues node expresses them through
+  // the pattern itself, so the view no longer carries them.)
 
   int64_t num_nodes() const { return static_cast<int64_t>(nodes.size()); }
   int64_t num_edges() const { return static_cast<int64_t>(edges_local.size()); }

@@ -22,6 +22,20 @@ Tensor Gcn::Logits(const CsrMatrix& norm_adj, const Tensor& features) const {
   return norm_adj.SpMM(h.MatMul(w2_));
 }
 
+Tensor Gcn::LogitsF32(const CsrMatrix& norm_adj,
+                      const Tensor& features) const {
+  GEA_CHECK(!norm_adj.empty());
+  return LogitsF32(*norm_adj.pattern(), ValuesToF32(norm_adj.values()),
+                   features);
+}
+
+Tensor Gcn::LogitsF32(const CsrPattern& pattern,
+                      const std::vector<float>& values,
+                      const Tensor& features) const {
+  Tensor h = SpmmRawF32(pattern, values, features.MatMul(w1_)).Relu();
+  return SpmmRawF32(pattern, values, h.MatMul(w2_));
+}
+
 Tensor Gcn::LogitsFromRaw(const Tensor& adjacency,
                           const Tensor& features) const {
   return Logits(NormalizeAdjacency(adjacency), features);

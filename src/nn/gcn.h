@@ -51,6 +51,19 @@ class Gcn {
   /// O(|E|·h) instead of O(n²·h) — the production inference path.
   Tensor Logits(const CsrMatrix& norm_adj, const Tensor& features) const;
 
+  /// Inference-only sparse forward with float32-stored adjacency values
+  /// (SpmmRawF32): halves the value-array traffic at ~1e-7 relative logit
+  /// error.  Strictly for eval paths (e.g. PerturbedLogits scoring) — never
+  /// for training or attack gradients, and off by default everywhere.
+  /// Callers that reuse one adjacency across forwards should convert once
+  /// with ValuesToF32 and use the (pattern, values) overload; this
+  /// convenience wrapper converts per call.
+  Tensor LogitsF32(const CsrMatrix& norm_adj, const Tensor& features) const;
+
+  /// Float32 forward on pre-converted values (pattern order of `pattern`).
+  Tensor LogitsF32(const CsrPattern& pattern, const std::vector<float>& values,
+                   const Tensor& features) const;
+
   /// Logits given a raw 0/1 adjacency (normalizes internally).
   Tensor LogitsFromRaw(const Tensor& adjacency, const Tensor& features) const;
 

@@ -18,7 +18,6 @@ SparseAttackForward MakeSparseAttackForward(const SubgraphView& view,
   }
   sf.xw1 = Constant(std::move(xw1_sub), "xw1_sub");
   sf.w2 = Constant(model.w2(), "w2");
-  sf.ones = Constant(Tensor::Ones(ns, 1), "ones");
   sf.out_deg = Constant(view.out_degree, "out_deg");
   sf.base_values = view.base_values;
   sf.und_base = view.und_base;
@@ -56,14 +55,18 @@ Var DirectedFromUndirected(const SparseAttackForward& sf, const Var& und) {
 Var NormalizeSparseValues(const SparseAttackForward& sf, const Var& values) {
   GEA_CHECK(sf.view != nullptr && values.defined());
   GEA_CHECK(values.rows() == sf.view->pattern->nnz() && values.cols() == 1);
-  Var deg = Add(SpMMValues(sf.view->pattern, values, sf.ones), sf.out_deg);
-  Var dinv = Pow(deg, -0.5);
-  Var dr = SpMM(sf.view->row_gather, dinv);
-  Var dc = SpMM(sf.view->col_gather, dinv);
-  return Mul(Mul(values, dr), dc);
+  // One fused node (single kernel pass) instead of the historical
+  // rowsum/pow/gather/scale chain; bit-identical values, same gradients.
+  return GcnNormValues(sf.view->pattern, values, sf.out_deg);
 }
 
 Var SparseGcnLogitsVar(const SparseAttackForward& sf, const Var& raw_values) {
+  // The two layers share ONE fused normalization node, so the backward
+  // chain is built once and the accumulated ∂L/∂Ã from both SpMMs flows
+  // through it a single time — that sharing (not just the kernel fusion)
+  // is what makes the bilevel hypergradient loop cheaper.  Forward values
+  // are bit-identical to the historical composition.
+  GEA_CHECK(sf.view != nullptr && raw_values.defined());
   Var norm = NormalizeSparseValues(sf, raw_values);
   Var h = Relu(SpMMValues(sf.view->pattern, norm, sf.xw1));
   return SpMMValues(sf.view->pattern, norm, MatMul(h, sf.w2));

@@ -12,7 +12,7 @@
 //   Ã_e = a_e · d̃^{-1/2}[row_e] · d̃^{-1/2}[col_e],
 //     d̃ = pattern row sums of a + out-of-view degree,
 //
-// using constant sparse gathers, and the two-layer forward runs through
+// by the fused GcnNormValues node, and the two-layer forward runs through
 // SpMMValues — whose backward emits SpMMValues/SpmmValueGrad nodes, so the
 // second-order hypergradient GEAttack needs is available exactly as on the
 // dense path.  Everything costs O((|E_sub| + m)·h) per evaluation.
@@ -39,7 +39,6 @@ struct SparseAttackForward {
   const SubgraphView* view = nullptr;
   Var xw1;      ///< (n_sub, h) constant: rows of X·W₁ for the view nodes.
   Var w2;       ///< (h, c) constant.
-  Var ones;     ///< (n_sub, 1) constant (degree row sums).
   Var out_deg;  ///< (n_sub, 1) constant: out-of-view degree correction.
   /// Committed per-nnz values: clean edges and diagonal 1.0, candidates 0.0
   /// until committed.
@@ -72,7 +71,11 @@ Var DirectedFromUndirected(const SparseAttackForward& sf, const Var& und);
 Var NormalizeSparseValues(const SparseAttackForward& sf, const Var& values);
 
 /// Two-layer GCN logits over the view from *raw* (unnormalized) slot
-/// values; normalizes on-graph, mirroring GcnLogitsVar.
+/// values; normalizes on-graph, mirroring GcnLogitsVar.  One fused
+/// GcnNormValues node (a single kernel pass replacing the historical
+/// rowsum/gather/scale chain) is shared by both layers' SpMMValues, so the
+/// normalization backward is built once; bit-identical forward values to
+/// the unfused composition.
 Var SparseGcnLogitsVar(const SparseAttackForward& sf, const Var& raw_values);
 
 /// Marks candidate `cand_index` as a committed edge: its slots become 1.0

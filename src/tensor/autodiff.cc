@@ -109,13 +109,17 @@ Var Mul(const Var& a, const Var& b) {
   Tensor out = a.value().BroadcastBinary(
       b.value(), [](double x, double y) { return x * y; });
   const int64_t br = b.rows(), bc = b.cols();
+  // Backward closures build gradient Vars eagerly, so skip the work for
+  // parents the engine will never read (requires_grad is fixed at
+  // construction; Grad() ignores entries of non-requiring parents).
+  const bool need_a = a.requires_grad(), need_b = b.requires_grad();
   return MakeOp(
       std::move(out), {a, b},
-      [a, b, br, bc](const Var& g) -> std::vector<Var> {
+      [a, b, br, bc, need_a, need_b](const Var& g) -> std::vector<Var> {
         // d/da = g ⊙ b (b broadcasts onto g's shape);
         // d/db = reduce(g ⊙ a) to b's shape.
-        Var ga = Mul(g, b);
-        Var gb = ReduceTo(Mul(g, a), br, bc);
+        Var ga = need_a ? Mul(g, b) : Var();
+        Var gb = need_b ? ReduceTo(Mul(g, a), br, bc) : Var();
         return {ga, gb};
       },
       "mul");
@@ -195,10 +199,12 @@ Var Pow(const Var& a, double e) {
 
 Var MatMul(const Var& a, const Var& b) {
   GEA_CHECK(a.defined() && b.defined());
+  const bool need_a = a.requires_grad(), need_b = b.requires_grad();
   return MakeOp(
       a.value().MatMul(b.value()), {a, b},
-      [a, b](const Var& g) -> std::vector<Var> {
-        return {MatMul(g, Transpose(b)), MatMul(Transpose(a), g)};
+      [a, b, need_a, need_b](const Var& g) -> std::vector<Var> {
+        return {need_a ? MatMul(g, Transpose(b)) : Var(),
+                need_b ? MatMul(Transpose(a), g) : Var()};
       },
       "matmul");
 }
@@ -369,14 +375,17 @@ Var SpMMValues(std::shared_ptr<const CsrPattern> pattern, const Var& values,
   GEA_CHECK(values.defined() && b.defined());
   GEA_CHECK(values.cols() == 1 && values.rows() == pattern->nnz());
   Tensor out = SpmmRaw(*pattern, values.value().data(), b.value());
+  const bool need_v = values.requires_grad(), need_b = b.requires_grad();
   return MakeOp(
       std::move(out), {values, b},
-      [pattern, values, b](const Var& g) -> std::vector<Var> {
+      [pattern, values, b, need_v, need_b](const Var& g) -> std::vector<Var> {
         const CsrTranspose& t = pattern->Transpose();  // Cached after 1st.
         auto perm = std::shared_ptr<const std::vector<int64_t>>(
             pattern, &t.src_index);
-        Var grad_values = SpmmValueGrad(pattern, g, b);
-        Var grad_b = SpMMValues(t.pattern, PermuteRows(values, perm), g);
+        Var grad_values = need_v ? SpmmValueGrad(pattern, g, b) : Var();
+        Var grad_b =
+            need_b ? SpMMValues(t.pattern, PermuteRows(values, perm), g)
+                   : Var();
         return {grad_values, grad_b};
       },
       "spmm_values");
@@ -405,17 +414,131 @@ Var SpmmValueGrad(std::shared_ptr<const CsrPattern> pattern, const Var& g,
       o[e] = s;
     }
   }
+  const bool need_g = g.requires_grad(), need_b = b.requires_grad();
   return MakeOp(
       std::move(out), {g, b},
-      [pattern, g, b](const Var& u) -> std::vector<Var> {
+      [pattern, g, b, need_g, need_b](const Var& u) -> std::vector<Var> {
         const CsrTranspose& t = pattern->Transpose();  // Cached after 1st.
         auto perm = std::shared_ptr<const std::vector<int64_t>>(
             pattern, &t.src_index);
-        Var grad_g = SpMMValues(pattern, u, b);
-        Var grad_b = SpMMValues(t.pattern, PermuteRows(u, perm), g);
+        Var grad_g = need_g ? SpMMValues(pattern, u, b) : Var();
+        Var grad_b =
+            need_b ? SpMMValues(t.pattern, PermuteRows(u, perm), g) : Var();
         return {grad_g, grad_b};
       },
       "spmm_value_grad");
+}
+
+namespace {
+
+/// Symbolic rebuild of the GCN normalization chain over a square pattern —
+/// the shared backward machinery of GcnNormValues / GcnNormSpMM.  All
+/// gathers and scatters are expressed through the pattern itself:
+/// SpmmValueGrad(p, x, 1) gathers x[r_e], SpmmValueGrad(p, 1, x) gathers
+/// x[c_e], SpMMValues(p, y, 1) row-scatters Σ_{r_e=i} y_e, and the
+/// transposed pattern column-scatters.  Every piece is an existing
+/// differentiable op, so closures using this are double-backward-safe by
+/// construction.
+struct NormChain {
+  std::shared_ptr<const std::vector<int64_t>> perm;
+  std::shared_ptr<const CsrPattern> t_pattern;
+  Var ones, deg, dinv, dr, dc;
+};
+
+NormChain BuildNormChain(const std::shared_ptr<const CsrPattern>& pattern,
+                         const Var& values, const Var& od) {
+  const CsrTranspose& t = pattern->Transpose();  // Cached after 1st use.
+  NormChain c;
+  c.perm =
+      std::shared_ptr<const std::vector<int64_t>>(pattern, &t.src_index);
+  c.t_pattern = t.pattern;
+  c.ones = Constant(Tensor::Ones(pattern->rows, 1), "ones");
+  c.deg = Add(SpMMValues(pattern, values, c.ones), od);
+  c.dinv = Pow(c.deg, -0.5);
+  c.dr = SpmmValueGrad(pattern, c.dinv, c.ones);  // d̃^{-1/2}[r_e].
+  c.dc = SpmmValueGrad(pattern, c.ones, c.dinv);  // d̃^{-1/2}[c_e].
+  return c;
+}
+
+/// Gradient of the normalized values w.r.t. (values, deg) given ∂L/∂Ã_e:
+/// the degree feedback ∂L/∂s_i is scattered from both endpoints, chained
+/// through s = d̃^{-1/2}, and gathered back to the owning row (d̃_i sums
+/// exactly the values of row i).  `gv` is skipped unless `need_v`.
+void NormChainGrads(const std::shared_ptr<const CsrPattern>& pattern,
+                    const NormChain& c, const Var& values, const Var& gnorm,
+                    bool need_v, Var* gv, Var* gdeg) {
+  Var gvdc = Mul(Mul(gnorm, values), c.dc);
+  Var gvdr = Mul(Mul(gnorm, values), c.dr);
+  Var gs = Add(SpMMValues(pattern, gvdc, c.ones),
+               SpMMValues(c.t_pattern, PermuteRows(gvdr, c.perm), c.ones));
+  *gdeg = Mul(gs, MulScalar(Pow(c.deg, -1.5), -0.5));
+  if (need_v) {
+    // Direct term ∂Ã_e/∂v_e = s_r·s_c plus the degree feedback.
+    *gv = Add(Mul(gnorm, Mul(c.dr, c.dc)),
+              SpmmValueGrad(pattern, *gdeg, c.ones));
+  }
+}
+
+}  // namespace
+
+Var GcnNormValues(std::shared_ptr<const CsrPattern> pattern, const Var& values,
+                  const Var& out_deg) {
+  GEA_CHECK(pattern != nullptr);
+  GEA_CHECK(pattern->rows == pattern->cols);
+  GEA_CHECK(values.defined());
+  GEA_CHECK(values.cols() == 1 && values.rows() == pattern->nnz());
+  const int64_t n = pattern->rows;
+  Var od = out_deg.defined() ? out_deg : Constant(Tensor::Zeros(n, 1), "od0");
+  GEA_CHECK(od.rows() == n && od.cols() == 1);
+  Tensor out = GcnNormValuesRaw(*pattern, values.value().data(),
+                                od.value().data().data());
+  const bool need_v = values.requires_grad();
+  const bool need_od = od.requires_grad();
+  return MakeOp(
+      std::move(out), {values, od},
+      [pattern, values, od, need_v,
+       need_od](const Var& gnorm) -> std::vector<Var> {
+        const NormChain c = BuildNormChain(pattern, values, od);
+        Var gv, gdeg;
+        NormChainGrads(pattern, c, values, gnorm, need_v, &gv, &gdeg);
+        return {gv, need_od ? gdeg : Var()};
+      },
+      "gcn_norm_values");
+}
+
+Var GcnNormSpMM(std::shared_ptr<const CsrPattern> pattern, const Var& values,
+                const Var& b, const Var& out_deg) {
+  GEA_CHECK(pattern != nullptr);
+  GEA_CHECK(pattern->rows == pattern->cols);
+  GEA_CHECK(values.defined() && b.defined());
+  GEA_CHECK(values.cols() == 1 && values.rows() == pattern->nnz());
+  GEA_CHECK(b.rows() == pattern->cols);
+  const int64_t n = pattern->rows;
+  Var od = out_deg.defined() ? out_deg : Constant(Tensor::Zeros(n, 1), "od0");
+  GEA_CHECK(od.rows() == n && od.cols() == 1);
+  Tensor out = GcnNormSpmmRaw(*pattern, values.value().data(),
+                              od.value().data().data(), b.value());
+  const bool need_v = values.requires_grad();
+  const bool need_b = b.requires_grad();
+  const bool need_od = od.requires_grad();
+  return MakeOp(
+      std::move(out), {values, b, od},
+      [pattern, values, b, od, need_v, need_b,
+       need_od](const Var& g) -> std::vector<Var> {
+        const NormChain c = BuildNormChain(pattern, values, od);
+        Var gv, gdeg;
+        if (need_v || need_od) {
+          Var gnorm = SpmmValueGrad(pattern, g, b);  // ∂L/∂Ã_e.
+          NormChainGrads(pattern, c, values, gnorm, need_v, &gv, &gdeg);
+        }
+        Var gb;
+        if (need_b) {
+          Var norm = Mul(Mul(values, c.dr), c.dc);
+          gb = SpMMValues(c.t_pattern, PermuteRows(norm, c.perm), g);
+        }
+        return {gv, gb, need_od ? gdeg : Var()};
+      },
+      "gcn_norm_spmm");
 }
 
 Var PermuteRows(const Var& a,

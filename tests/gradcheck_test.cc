@@ -143,6 +143,52 @@ Var SpmmValuesThroughDense(const Var& b) {
   return Sum(Mul(y, y));
 }
 
+/// A small symmetric square pattern with strictly positive row sums under
+/// positive values — the shape class GcnNormSpMM is defined on (degrees
+/// must stay positive for d̃^{-1/2}).
+std::shared_ptr<const CsrPattern> NormSpmmTestPattern() {
+  // 4x4 symmetric structure with diagonal slots: edges (0,1), (0,2), (1,3),
+  // (2,3) plus all self loops -> 12 stored entries.
+  auto p = std::make_shared<CsrPattern>();
+  p->rows = p->cols = 4;
+  p->row_ptr = {0, 3, 6, 9, 12};
+  p->col_idx = {0, 1, 2, 0, 1, 3, 0, 2, 3, 1, 2, 3};
+  return p;
+}
+
+Var GcnNormSpmmLoss(const Var& values) {
+  // sum((GcnNormSpMM(v)·B)²) through the fused node — differentiating the
+  // sparse entries, including the degree-normalization coupling.
+  auto p = NormSpmmTestPattern();
+  Rng rng(700);
+  Var b = Constant(rng.NormalTensor(p->cols, 3, 0, 1));
+  Var od = Constant(rng.UniformTensor(p->rows, 1, 0.1, 0.6));
+  Var y = GcnNormSpMM(p, values, b, od);
+  return Sum(Mul(y, y));
+}
+
+Var GcnNormValuesSharedLoss(const Var& values) {
+  // The sparse two-layer structure: ONE fused normalization node shared by
+  // two SpMMValues products — the exact graph SparseGcnLogitsVar builds.
+  auto p = NormSpmmTestPattern();
+  Rng rng(705);
+  Var od = Constant(rng.UniformTensor(p->rows, 1, 0.1, 0.6));
+  Var norm = GcnNormValues(p, values, od);
+  Var b1 = Constant(rng.NormalTensor(p->cols, 3, 0, 1));
+  Var h = Relu(SpMMValues(p, norm, b1));
+  Var y = SpMMValues(p, norm, h);
+  return Sum(Mul(y, y));
+}
+
+Var GcnNormSpmmThroughDense(const Var& b) {
+  // Same expression differentiated through the dense operand.
+  auto p = NormSpmmTestPattern();
+  Rng rng(701);
+  Var values = Constant(rng.UniformTensor(p->nnz(), 1, 0.4, 1.2));
+  Var y = GcnNormSpMM(p, values, b);
+  return Sum(Mul(y, y));
+}
+
 Var UnrolledInnerLoop(const Var& a) {
   // One full GEAttack-style hypergradient structure: two gradient-descent
   // steps on a mask whose loss depends on `a`, then a readout of the mask.
@@ -219,6 +265,12 @@ INSTANTIATE_TEST_SUITE_P(
                  true},
         GradCase{"spmm_values_through_dense", SpmmValuesThroughDense, 4, 3,
                  -1, 1, true},
+        GradCase{"gcn_norm_spmm_values", GcnNormSpmmLoss, 12, 1, 0.4, 1.2,
+                 true},
+        GradCase{"gcn_norm_values_shared", GcnNormValuesSharedLoss, 12, 1,
+                 0.4, 1.2, false},
+        GradCase{"gcn_norm_spmm_through_dense", GcnNormSpmmThroughDense, 4, 3,
+                 -1, 1, true},
         GradCase{"sigmoid_mask_loss", SigmoidMaskLoss, 4, 4, -2, 2, true},
         GradCase{"normalized_adjacency", NormalizedAdjacencyLoss, 4, 4, 0.1,
                  0.9, true},
@@ -267,6 +319,40 @@ TEST(SpmmGradTest, JointGradientsMatchFiniteDifferences) {
   EXPECT_LE(grads[1].value().MaxAbsDiff(
                 geattack::testing::NumericalGradient(loss_of_b, b0)),
             2e-5);
+}
+
+TEST(GcnNormSpmmTest, ForwardMatchesUnfusedCompositionBitwise) {
+  // The fused kernel must be *bit-identical* to the separate
+  // rowsum/pow/gather/scale/SpMM nodes it replaces — the attack
+  // equivalence gates compare greedy argmin picks and tolerate no drift.
+  auto p = NormSpmmTestPattern();
+  Rng rng(702);
+  const Tensor v0 = rng.UniformTensor(p->nnz(), 1, 0.4, 1.2);
+  const Tensor b0 = rng.NormalTensor(p->cols, 3, 0, 1);
+  const Tensor od0 = rng.UniformTensor(p->rows, 1, 0.1, 0.5);
+  Var v = Constant(v0), b = Constant(b0), od = Constant(od0);
+  Var fused = GcnNormSpMM(p, v, b, od);
+
+  Var ones = Constant(Tensor::Ones(p->rows, 1));
+  Var deg = Add(SpMMValues(p, v, ones), od);
+  Var dinv = Pow(deg, -0.5);
+  Var dr = SpmmValueGrad(p, dinv, ones);
+  Var dc = SpmmValueGrad(p, ones, dinv);
+  Var unfused = SpMMValues(p, Mul(Mul(v, dr), dc), b);
+  EXPECT_EQ(fused.value().MaxAbsDiff(unfused.value()), 0.0);
+}
+
+TEST(GcnNormSpmmTest, OutDegreeGradientMatchesFiniteDifferences) {
+  auto p = NormSpmmTestPattern();
+  Rng rng(703);
+  const Tensor v0 = rng.UniformTensor(p->nnz(), 1, 0.4, 1.2);
+  const Tensor b0 = rng.NormalTensor(p->cols, 2, 0, 1);
+  auto fn = [&](const Var& od) -> Var {
+    Var y = GcnNormSpMM(p, Constant(v0), Constant(b0), od);
+    return Sum(Mul(y, y));
+  };
+  const Tensor od0 = Rng(704).UniformTensor(p->rows, 1, 0.2, 0.8);
+  geattack::testing::ExpectGradientsMatch(fn, od0, 2e-5);
 }
 
 TEST(SpmmGradTest, PermuteRowsGradientIsInversePermutation) {

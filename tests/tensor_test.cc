@@ -319,5 +319,66 @@ TEST(CsrTest, GcnNormalizeMergesExistingDiagonal) {
   EXPECT_NEAR(norm.At(1, 1), d1 * 1.0 * d1, 1e-12);
 }
 
+TEST(CsrTest, SpmmRawWideOperandMatchesDense) {
+  // Exercises the cache-blocked path (k > one column tile) against the
+  // dense product; long rows hit the 2-way entry unroll + tail.
+  Tensor a = RandomSparseDense(9, 40, 7, 0.5);
+  Tensor b = Rng(8).NormalTensor(40, 130, 0, 1);
+  CsrMatrix m = CsrMatrix::FromDense(a);
+  EXPECT_LE(SpmmRaw(*m.pattern(), m.values(), b).MaxAbsDiff(a.MatMul(b)),
+            1e-10);
+}
+
+TEST(CsrTest, SpmmRawF32MatchesDoubleWithinStoragePrecision) {
+  Tensor a = RandomSparseDense(12, 10, 9, 0.4);
+  Tensor b = Rng(10).NormalTensor(10, 7, 0, 1);
+  CsrMatrix m = CsrMatrix::FromDense(a);
+  const Tensor exact = SpmmRaw(*m.pattern(), m.values(), b);
+  const Tensor f32 = SpmmRawF32(*m.pattern(), ValuesToF32(m.values()), b);
+  // Values are rounded to float storage (~1e-7 relative); the accumulation
+  // stays double, so the result only carries the storage rounding.
+  EXPECT_LE(f32.MaxAbsDiff(exact), 1e-5);
+  EXPECT_GT(f32.MaxAbsDiff(exact), 0.0);  // It really is a f32 store.
+}
+
+TEST(CsrTest, GcnNormSpmmRawMatchesUnfusedComputation) {
+  // Symmetric positive-value square matrix with self loops so degrees stay
+  // positive; the fused kernel must match rowsum -> pow -> scale -> SpMM
+  // bit for bit.
+  Rng rng(11);
+  const int64_t n = 8;
+  Tensor a(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    a.at(i, i) = rng.Uniform(0.5, 1.5);
+    for (int64_t j = i + 1; j < n; ++j)
+      if (rng.Bernoulli(0.4)) a.at(i, j) = a.at(j, i) = rng.Uniform(0.2, 1.0);
+  }
+  CsrMatrix m = CsrMatrix::FromDense(a);
+  Tensor out_deg = rng.UniformTensor(n, 1, 0.0, 0.7);
+  Tensor b = rng.NormalTensor(n, 5, 0, 1);
+
+  std::vector<double> norm(m.values().size());
+  std::vector<double> dinv(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    for (int64_t e = m.pattern()->row_ptr[i]; e < m.pattern()->row_ptr[i + 1];
+         ++e)
+      d += m.values()[static_cast<size_t>(e)];
+    d += out_deg.at(i, 0);
+    dinv[static_cast<size_t>(i)] = std::pow(d, -0.5);
+  }
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t e = m.pattern()->row_ptr[i]; e < m.pattern()->row_ptr[i + 1];
+         ++e)
+      norm[static_cast<size_t>(e)] =
+          (m.values()[static_cast<size_t>(e)] * dinv[static_cast<size_t>(i)]) *
+          dinv[static_cast<size_t>(m.pattern()->col_idx[e])];
+
+  const Tensor fused =
+      GcnNormSpmmRaw(*m.pattern(), m.values(), out_deg.data().data(), b);
+  const Tensor unfused = SpmmRaw(*m.pattern(), norm, b);
+  EXPECT_EQ(fused.MaxAbsDiff(unfused), 0.0);
+}
+
 }  // namespace
 }  // namespace geattack
