@@ -14,8 +14,11 @@
 //
 // Each size also measures multi-target throughput (targets/sec) through the
 // thread-pool driver: the serial (1-thread) driver vs GEATTACK_BENCH_ATTACK_
-// THREADS workers (default 4), with a hard gate that the parallel edge
-// picks are identical to the serial ones.
+// THREADS workers (default 4) vs the batched task type
+// (GEATTACK_BENCH_ATTACK_BATCH grouped targets per stacked task on
+// GEATTACK_BENCH_ATTACK_BATCH_THREADS workers, defaults 2/2 — see the
+// operating-point note in RunHarness), with a hard gate that both the
+// parallel and the batched edge picks are identical to the serial ones.
 //
 // Both modes end with a dense-vs-sparse equivalence gate at the smallest
 // size: FGA-T and GEAttack (mask_init_scale = 0) must each pick identical
@@ -30,6 +33,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/attack/driver.h"
@@ -142,6 +146,12 @@ struct MultiTargetRow {
   double serial_ms = 0.0;    // Driver, num_threads = 1.
   double threaded_ms = 0.0;  // Driver, num_threads = threads.
   bool identical = false;    // Parallel picks == serial picks (gate).
+  // Batched task type: num_threads = batched_threads, groups of
+  // batch_targets through the stacked-RHS path.
+  int batched_threads = 0;
+  int batch_targets = 0;
+  double batched_ms = 0.0;
+  bool batched_identical = false;  // Batched picks == serial picks (gate).
 };
 
 /// -log softmax[target_label] of the post-attack victim via the sparse
@@ -210,6 +220,21 @@ int RunHarness(const std::string& json_path, bool quick) {
   const int threads = [] {
     const char* v = std::getenv("GEATTACK_BENCH_ATTACK_THREADS");
     return (v != nullptr && std::atoi(v) > 0) ? std::atoi(v) : 4;
+  }();
+  // The batched row runs batch=2 on 2 workers in both modes: quick doubles
+  // as the CI equivalence gate (hard-fail on any non-identical pick), and
+  // on the single-core bench container pairs over a small pool is the
+  // batched operating point that stays ahead of the 4-worker unbatched
+  // pool (larger groups inflate the in-flight working set, which a single
+  // core pays for in cache misses; real multi-core machines can raise
+  // both knobs via the env overrides).
+  const int batch_targets = [] {
+    const char* v = std::getenv("GEATTACK_BENCH_ATTACK_BATCH");
+    return (v != nullptr && std::atoi(v) > 0) ? std::atoi(v) : 2;
+  }();
+  const int batched_threads = [] {
+    const char* v = std::getenv("GEATTACK_BENCH_ATTACK_BATCH_THREADS");
+    return (v != nullptr && std::atoi(v) > 0) ? std::atoi(v) : 2;
   }();
 
   std::vector<Row> geattack_rows, fga_rows;
@@ -284,27 +309,56 @@ int RunHarness(const std::string& json_path, bool quick) {
       mrow.n = grow.n;
       mrow.targets = static_cast<int64_t>(requests.size());
       mrow.threads = threads;
+      // Best-of-2 timing per mode (results are deterministic, so reps are
+      // identical) — single-shot multi-target walls on the shared bench
+      // host swing by ~10%, more than the batched-vs-threaded margins.
+      const int mt_reps = 2;
+      auto timed = [&](const AttackDriverConfig& cfg,
+                       std::vector<AttackResult>* out) {
+        double best = -1.0;
+        for (int r = 0; r < mt_reps; ++r) {
+          const double t0 = NowMs();
+          *out = RunMultiTargetAttack(s.ctx, mt_attack, requests, cfg);
+          const double elapsed = NowMs() - t0;
+          if (best < 0.0 || elapsed < best) best = elapsed;
+        }
+        return best;
+      };
       AttackDriverConfig serial_cfg;
       serial_cfg.num_threads = 1;
       serial_cfg.base_seed = 909;
-      double t0 = NowMs();
-      const auto serial =
-          RunMultiTargetAttack(s.ctx, mt_attack, requests, serial_cfg);
-      mrow.serial_ms = NowMs() - t0;
+      std::vector<AttackResult> serial;
+      mrow.serial_ms = timed(serial_cfg, &serial);
       AttackDriverConfig par_cfg = serial_cfg;
       par_cfg.num_threads = threads;
-      t0 = NowMs();
-      const auto parallel =
-          RunMultiTargetAttack(s.ctx, mt_attack, requests, par_cfg);
-      mrow.threaded_ms = NowMs() - t0;
+      std::vector<AttackResult> parallel;
+      mrow.threaded_ms = timed(par_cfg, &parallel);
       mrow.identical = serial.size() == parallel.size();
       for (size_t i = 0; mrow.identical && i < serial.size(); ++i)
         mrow.identical = SameEdges(serial[i], parallel[i]);
       gate_ok = gate_ok && mrow.identical;
+
+      // Batched task type: shared BatchedSubgraphView + stacked-RHS scoring
+      // per group, same per-target streams — picks must stay identical.
+      AttackDriverConfig batched_cfg = serial_cfg;
+      batched_cfg.num_threads = batched_threads;
+      batched_cfg.batch_targets = batch_targets;
+      mrow.batched_threads = batched_threads;
+      mrow.batch_targets = batch_targets;
+      std::vector<AttackResult> batched;
+      mrow.batched_ms = timed(batched_cfg, &batched);
+      mrow.batched_identical = serial.size() == batched.size();
+      for (size_t i = 0; mrow.batched_identical && i < serial.size(); ++i)
+        mrow.batched_identical = SameEdges(serial[i], batched[i]);
+      gate_ok = gate_ok && mrow.batched_identical;
+
       std::cerr << "[bench_attack] multi-target GEAttack x" << mrow.targets
                 << ": serial " << mrow.serial_ms << " ms, " << threads
-                << " threads " << mrow.threaded_ms << " ms, identical="
-                << (mrow.identical ? "yes" : "NO") << "\n";
+                << " threads " << mrow.threaded_ms << " ms, batched("
+                << batched_threads << "t x" << batch_targets << ") "
+                << mrow.batched_ms << " ms, identical="
+                << (mrow.identical ? "yes" : "NO") << "/"
+                << (mrow.batched_identical ? "yes" : "NO") << "\n";
       multi_rows.push_back(mrow);
     }
 
@@ -356,6 +410,9 @@ int RunHarness(const std::string& json_path, bool quick) {
       << "false"
 #endif
       << ",\n  \"quick\": " << (quick ? "true" : "false")
+      << ",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"attack_threads\": " << threads
       << ",\n  \"geattack_per_target\": [\n";
   WriteRows(out, geattack_rows, /*with_inner=*/true);
   out << "  ],\n  \"fga_per_target\": [\n";
@@ -376,6 +433,29 @@ int RunHarness(const std::string& json_path, bool quick) {
         << (m.threaded_ms > 0.0 ? m.serial_ms / m.threaded_ms : 0.0)
         << ",\"identical\":" << (m.identical ? "true" : "false") << "}"
         << (i + 1 < multi_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"multi_target_batched\": [\n";
+  for (size_t i = 0; i < multi_rows.size(); ++i) {
+    const MultiTargetRow& m = multi_rows[i];
+    const double serial_tps =
+        m.serial_ms > 0.0 ? 1000.0 * m.targets / m.serial_ms : 0.0;
+    const double threaded_tps =
+        m.threaded_ms > 0.0 ? 1000.0 * m.targets / m.threaded_ms : 0.0;
+    const double batched_tps =
+        m.batched_ms > 0.0 ? 1000.0 * m.targets / m.batched_ms : 0.0;
+    out << "    {\"n\":" << m.n << ",\"targets\":" << m.targets
+        << ",\"threads\":" << m.batched_threads
+        << ",\"batch_targets\":" << m.batch_targets
+        << ",\"batched_ms\":" << m.batched_ms
+        << ",\"serial_targets_per_sec\":" << serial_tps
+        << ",\"threaded_targets_per_sec\":" << threaded_tps
+        << ",\"batched_targets_per_sec\":" << batched_tps
+        << ",\"speedup_vs_serial\":"
+        << (m.batched_ms > 0.0 ? m.serial_ms / m.batched_ms : 0.0)
+        << ",\"speedup_vs_threaded\":"
+        << (m.batched_ms > 0.0 ? m.threaded_ms / m.batched_ms : 0.0)
+        << ",\"identical\":" << (m.batched_identical ? "true" : "false")
+        << "}" << (i + 1 < multi_rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"equivalence\": [\n";
   for (size_t i = 0; i < equivalence.size(); ++i) {

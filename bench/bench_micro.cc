@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/attack/attack.h"
@@ -318,7 +319,8 @@ int RunJsonHarness(const std::string& json_path) {
 #else
       << "false"
 #endif
-      << ",\n  \"forward\": [\n";
+      << ",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"forward\": [\n";
   for (size_t i = 0; i < forward.size(); ++i) {
     const ForwardRow& f = forward[i];
     out << "    {\"n\":" << f.n << ",\"edges\":" << f.edges << ",";

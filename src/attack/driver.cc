@@ -4,6 +4,9 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
+
+#include "src/graph/subgraph.h"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -103,18 +106,49 @@ std::vector<AttackResult> RunMultiTargetAttack(
   std::vector<AttackResult> results(requests.size());
   if (requests.empty()) return results;
 
-  auto run_one = [&](int64_t i) {
-    Rng rng(TargetSeed(config.base_seed, i));
-    results[static_cast<size_t>(i)] =
-        attack.Attack(ctx, requests[static_cast<size_t>(i)], &rng);
+  // The task unit is a target *group*: singletons when batch_targets <= 1
+  // (the PR-4 schedule), shared-neighbor groups otherwise.  Each member
+  // keeps the stream of its ORIGINAL request index, so the grouping (and
+  // the thread count) is invisible in the results.
+  std::vector<std::vector<int64_t>> groups;
+  if (config.batch_targets <= 1) {
+    groups.reserve(requests.size());
+    for (int64_t i = 0; i < static_cast<int64_t>(requests.size()); ++i)
+      groups.push_back({i});
+  } else {
+    GEA_CHECK(ctx.data != nullptr);
+    std::vector<int64_t> targets;
+    targets.reserve(requests.size());
+    for (const AttackRequest& r : requests) targets.push_back(r.target_node);
+    groups = GroupTargetsBySharedNeighbors(ctx.data->graph, targets,
+                                           config.batch_targets);
+  }
+
+  auto run_group = [&](int64_t gi) {
+    const std::vector<int64_t>& group = groups[static_cast<size_t>(gi)];
+    std::vector<AttackRequest> group_requests;
+    std::vector<Rng> rngs;
+    std::vector<Rng*> rng_ptrs;
+    group_requests.reserve(group.size());
+    rngs.reserve(group.size());
+    for (int64_t i : group) {
+      group_requests.push_back(requests[static_cast<size_t>(i)]);
+      rngs.emplace_back(TargetSeed(config.base_seed, i));
+    }
+    for (Rng& r : rngs) rng_ptrs.push_back(&r);
+    std::vector<AttackResult> group_results =
+        attack.AttackBatch(ctx, group_requests, rng_ptrs);
+    GEA_CHECK(group_results.size() == group.size());
+    for (size_t g = 0; g < group.size(); ++g)
+      results[static_cast<size_t>(group[g])] = std::move(group_results[g]);
   };
 
   const int threads = static_cast<int>(
       std::min<int64_t>(std::max(config.num_threads, 1),
-                        static_cast<int64_t>(requests.size())));
+                        static_cast<int64_t>(groups.size())));
   if (threads <= 1) {
-    for (int64_t i = 0; i < static_cast<int64_t>(requests.size()); ++i)
-      run_one(i);
+    for (int64_t gi = 0; gi < static_cast<int64_t>(groups.size()); ++gi)
+      run_group(gi);
     return results;
   }
 
@@ -127,11 +161,11 @@ std::vector<AttackResult> RunMultiTargetAttack(
   // pure scheduling knob.
   const int omp_budget = std::max(1, omp_get_max_threads() / threads);
 #endif
-  StealingQueues queues(static_cast<int64_t>(requests.size()), threads);
+  StealingQueues queues(static_cast<int64_t>(groups.size()), threads);
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([&queues, &run_one, w
+    workers.emplace_back([&queues, &run_group, w
 #ifdef _OPENMP
                           ,
                           omp_budget
@@ -140,7 +174,7 @@ std::vector<AttackResult> RunMultiTargetAttack(
 #ifdef _OPENMP
       omp_set_num_threads(omp_budget);
 #endif
-      for (int64_t t = queues.Pop(w); t >= 0; t = queues.Pop(w)) run_one(t);
+      for (int64_t t = queues.Pop(w); t >= 0; t = queues.Pop(w)) run_group(t);
     });
   }
   for (std::thread& t : workers) t.join();

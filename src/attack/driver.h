@@ -50,18 +50,28 @@ namespace geattack {
 uint64_t TargetSeed(uint64_t base_seed, int64_t target_index);
 
 struct AttackDriverConfig {
-  /// Worker threads.  <= 1 runs the targets inline in the calling thread
-  /// (same seeds, same results).  Values above the target count are clamped.
+  /// Worker threads.  <= 1 runs the tasks inline in the calling thread
+  /// (same seeds, same results).  Values above the task count are clamped.
   int num_threads = 1;
   /// Base seed of the per-target streams.
   uint64_t base_seed = 0;
+  /// Target-group size of the batched task type.  1 (default) schedules one
+  /// task per target, exactly the PR-4 driver.  > 1 groups up to this many
+  /// targets by shared-neighbor count (GroupTargetsBySharedNeighbors) and
+  /// schedules each group as ONE task run through
+  /// TargetedAttack::AttackBatch — shared subgraph construction and
+  /// stacked-RHS scoring for attackers that support it, the per-target
+  /// fallback loop for the rest.  Every target still draws from its own
+  /// TargetSeed(base_seed, request_index) stream, so results are
+  /// bit-identical to batch_targets = 1 at any thread count and grouping.
+  int batch_targets = 1;
 };
 
 /// Runs `attack` on every request against the shared read-only `ctx` and
 /// returns results in request order.  Bit-identical output for any
-/// `num_threads`.  Workers steal whole targets from each other's queues, so
-/// one slow target (e.g. a hub node with a huge candidate set) does not
-/// serialize the tail.
+/// `num_threads` and any `batch_targets`.  Workers steal whole tasks
+/// (targets, or target groups) from each other's queues, so one slow task
+/// (e.g. a hub node with a huge candidate set) does not serialize the tail.
 std::vector<AttackResult> RunMultiTargetAttack(
     const AttackContext& ctx, const TargetedAttack& attack,
     const std::vector<AttackRequest>& requests,

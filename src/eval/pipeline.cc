@@ -122,6 +122,7 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
       requests.push_back({t.node, t.target_label, t.budget});
     AttackDriverConfig driver_config;
     driver_config.num_threads = eval_config.attack_threads;
+    driver_config.batch_targets = eval_config.batch_targets;
     driver_config.base_seed = rng->engine()();
     const std::vector<AttackResult> results =
         RunMultiTargetAttack(ctx, attack, requests, driver_config);

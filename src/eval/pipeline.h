@@ -93,6 +93,12 @@ struct EvalConfig {
   /// seeded off `rng` — bit-identical results for any thread count, so 1
   /// is the serial reference and N is the same answer, faster.
   int attack_threads = 0;
+  /// Target-group size for the driver's batched task type (used when
+  /// attack_threads >= 1): groups of up to this many targets share one
+  /// subgraph view and are scored through stacked wide forwards by
+  /// attackers that support it.  1 = per-target tasks.  Results are
+  /// bit-identical for any value (see AttackDriverConfig::batch_targets).
+  int batch_targets = 1;
 };
 
 /// Runs `attack` on every prepared target and inspects each perturbed graph

@@ -46,10 +46,18 @@ PipelineRun RunPipeline(uint64_t seed) {
   attackers.push_back(std::make_unique<FgaAttack>(true));
   attackers.push_back(std::make_unique<Nettack>());
   attackers.push_back(std::make_unique<GeAttack>());
+  // attack_threads = 1 routes the attack phase through the multi-target
+  // driver's per-target TargetSeed streams: each target's draws depend only
+  // on (base seed, target index), not on how many draws earlier attacks
+  // consumed — the seed-robust anchoring GEAttack's sparse default (whose
+  // per-edge M⁰ consumes a different draw count than the dense n x n init)
+  // requires.
+  EvalConfig eval_cfg;
+  eval_cfg.attack_threads = 1;
   for (const auto& attacker : attackers) {
     Rng eval_rng(seed * 3 + 1);
     run.outcomes[attacker->name()] = EvaluateAttack(
-        ctx, *attacker, targets, inspector, EvalConfig{}, &eval_rng);
+        ctx, *attacker, targets, inspector, eval_cfg, &eval_rng);
   }
   return run;
 }
