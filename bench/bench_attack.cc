@@ -90,7 +90,7 @@ Scenario MakeScenario(int64_t n, bool dense_ok, int64_t feature_dim,
   for (int64_t node : split.test) {
     if (static_cast<int64_t>(s.targets.size()) >= num_targets) break;
     if (s.data.graph.Degree(node) < 2) continue;
-    if (logits.ArgMaxRow(node) != s.data.labels[node]) continue;
+    if (logits.ArgMaxRow(node) != s.data.labels[ZU(node)]) continue;
     auto prepared = PrepareTargets(s.ctx, {node}, &rng, /*sparse=*/true);
     if (prepared.empty()) continue;
     prepared[0].budget = std::min(prepared[0].budget, budget_cap);
@@ -420,10 +420,11 @@ int RunHarness(const std::string& json_path, bool quick) {
   out << "  ],\n  \"multi_target\": [\n";
   for (size_t i = 0; i < multi_rows.size(); ++i) {
     const MultiTargetRow& m = multi_rows[i];
+    const double t = static_cast<double>(m.targets);
     const double serial_tps =
-        m.serial_ms > 0.0 ? 1000.0 * m.targets / m.serial_ms : 0.0;
+        m.serial_ms > 0.0 ? 1000.0 * t / m.serial_ms : 0.0;
     const double threaded_tps =
-        m.threaded_ms > 0.0 ? 1000.0 * m.targets / m.threaded_ms : 0.0;
+        m.threaded_ms > 0.0 ? 1000.0 * t / m.threaded_ms : 0.0;
     out << "    {\"n\":" << m.n << ",\"targets\":" << m.targets
         << ",\"threads\":" << m.threads << ",\"serial_ms\":" << m.serial_ms
         << ",\"threaded_ms\":" << m.threaded_ms
@@ -437,12 +438,13 @@ int RunHarness(const std::string& json_path, bool quick) {
   out << "  ],\n  \"multi_target_batched\": [\n";
   for (size_t i = 0; i < multi_rows.size(); ++i) {
     const MultiTargetRow& m = multi_rows[i];
+    const double t = static_cast<double>(m.targets);
     const double serial_tps =
-        m.serial_ms > 0.0 ? 1000.0 * m.targets / m.serial_ms : 0.0;
+        m.serial_ms > 0.0 ? 1000.0 * t / m.serial_ms : 0.0;
     const double threaded_tps =
-        m.threaded_ms > 0.0 ? 1000.0 * m.targets / m.threaded_ms : 0.0;
+        m.threaded_ms > 0.0 ? 1000.0 * t / m.threaded_ms : 0.0;
     const double batched_tps =
-        m.batched_ms > 0.0 ? 1000.0 * m.targets / m.batched_ms : 0.0;
+        m.batched_ms > 0.0 ? 1000.0 * t / m.batched_ms : 0.0;
     out << "    {\"n\":" << m.n << ",\"targets\":" << m.targets
         << ",\"threads\":" << m.batched_threads
         << ",\"batch_targets\":" << m.batch_targets

@@ -27,7 +27,8 @@ int main() {
           std::vector<int64_t> instances(
               w.split.train.begin(),
               w.split.train.begin() +
-                  std::min<size_t>(16, w.split.train.size()));
+                  std::min<ptrdiff_t>(
+                      16, static_cast<ptrdiff_t>(w.split.train.size())));
           pg->Train(w.ctx.clean_adjacency, instances,
                     PredictLabels(w.clean_logits));
           return pg;

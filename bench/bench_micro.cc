@@ -220,7 +220,7 @@ int RunJsonHarness(const std::string& json_path) {
 
   for (int64_t n : std::vector<int64_t>{1000, 2000, 5000, large_n}) {
     std::cerr << "[bench_micro] n=" << n << ": generating graph...\n";
-    GraphData data = MakeScaledGraph(n, /*seed=*/9000 + n);
+    GraphData data = MakeScaledGraph(n, /*seed=*/9000 + static_cast<uint64_t>(n));
     Rng rng(17);
     Gcn model({data.feature_dim(), 16, data.num_classes}, &rng);
     const bool dense_ok = n <= dense_max_n;

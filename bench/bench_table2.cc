@@ -24,7 +24,8 @@ void Run(const BenchKnobs& knobs) {
     std::vector<int64_t> instances(
         world->split.train.begin(),
         world->split.train.begin() +
-            std::min<size_t>(16, world->split.train.size()));
+            std::min<ptrdiff_t>(
+                16, static_cast<ptrdiff_t>(world->split.train.size())));
     inspector.Train(world->ctx.clean_adjacency, instances,
                     PredictLabels(world->clean_logits));
 

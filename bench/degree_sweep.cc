@@ -24,7 +24,7 @@ std::vector<DegreeCell> NettackDegreeSweep(
       for (int64_t node : world->split.test) {
         if (world->data.graph.Degree(node) != d) continue;
         if (world->clean_logits.ArgMaxRow(node) !=
-            world->data.labels[node])
+            world->data.labels[ZU(node)])
           continue;
         victims.push_back(node);
       }

@@ -41,7 +41,8 @@ int main() {
   PgExplainer pg_explainer(&model, &data.features, pg_cfg);
   std::vector<int64_t> instances(
       split.train.begin(),
-      split.train.begin() + std::min<size_t>(16, split.train.size()));
+      split.train.begin() +
+          std::min<ptrdiff_t>(16, static_cast<ptrdiff_t>(split.train.size())));
   pg_explainer.Train(adjacency, instances, PredictLabels(tr.final_logits));
   Explanation by_mlp = pg_explainer.Explain(adjacency, node, label);
 

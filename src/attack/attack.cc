@@ -52,7 +52,7 @@ std::vector<int64_t> DirectAddCandidates(const Tensor& adjacency,
   for (int64_t j = 0; j < n; ++j) {
     if (j == target) continue;
     if (adjacency.at(target, j) > 0.5) continue;
-    if (required_label >= 0 && labels[j] != required_label) continue;
+    if (required_label >= 0 && labels[ZU(j)] != required_label) continue;
     candidates.push_back(j);
   }
   return candidates;
@@ -68,7 +68,7 @@ std::vector<int64_t> DirectAddCandidates(const Graph& graph, int64_t target,
   for (int64_t j = 0; j < n; ++j) {
     if (j == target) continue;
     if (neighbors.count(j)) continue;
-    if (required_label >= 0 && labels[j] != required_label) continue;
+    if (required_label >= 0 && labels[ZU(j)] != required_label) continue;
     candidates.push_back(j);
   }
   return candidates;

@@ -62,6 +62,8 @@ AttackResult FgaAttack::AttackDense(const AttackContext& ctx,
                                           ctx.data->labels, /*label*/ -1);
     const auto excluded = ExcludedNodes(ctx, current, request);
     if (!excluded.empty()) {
+      // lint-ok: unordered-iteration (this `excluded` is the std::vector
+      // returned by ExcludedNodes; `ex` is membership-only)
       const std::unordered_set<int64_t> ex(excluded.begin(), excluded.end());
       candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
                                       [&ex](int64_t j) { return ex.count(j); }),

@@ -13,8 +13,8 @@ AttackResult RandomAttack::Attack(const AttackContext& ctx,
         DirectAddCandidates(result.adjacency, request.target_node,
                             ctx.data->labels, request.target_label);
     if (candidates.empty()) break;
-    const int64_t pick = candidates[rng->UniformInt(
-        0, static_cast<int64_t>(candidates.size()) - 1)];
+    const int64_t pick = candidates[ZU(rng->UniformInt(
+        0, static_cast<int64_t>(candidates.size()) - 1))];
     AddEdgeDense(&result.adjacency, request.target_node, pick);
     result.added_edges.emplace_back(request.target_node, pick);
   }

@@ -17,18 +17,18 @@ std::vector<int64_t> SelectTargetNodes(const GraphData& data,
   // Only correctly classified nodes are meaningful victims.
   std::vector<std::pair<double, int64_t>> by_margin;
   for (int64_t node : test_nodes) {
-    if (clean_logits.ArgMaxRow(node) != data.labels[node]) continue;
+    if (clean_logits.ArgMaxRow(node) != data.labels[ZU(node)]) continue;
     by_margin.emplace_back(
-        ClassificationMargin(clean_logits, node, data.labels[node]), node);
+        ClassificationMargin(clean_logits, node, data.labels[ZU(node)]), node);
   }
   std::sort(by_margin.begin(), by_margin.end());
 
   std::set<int64_t> chosen;
   const int64_t m = static_cast<int64_t>(by_margin.size());
   for (int64_t i = 0; i < std::min(config.bottom_margin, m); ++i)
-    chosen.insert(by_margin[static_cast<size_t>(i)].second);
+    chosen.insert(by_margin[ZU(i)].second);
   for (int64_t i = 0; i < std::min(config.top_margin, m); ++i)
-    chosen.insert(by_margin[static_cast<size_t>(m - 1 - i)].second);
+    chosen.insert(by_margin[ZU(m - 1 - i)].second);
 
   // Random fill from the remaining correctly-classified pool.
   std::vector<int64_t> pool;
@@ -37,7 +37,7 @@ std::vector<int64_t> SelectTargetNodes(const GraphData& data,
   rng->Shuffle(&pool);
   for (int64_t i = 0;
        i < config.random && i < static_cast<int64_t>(pool.size()); ++i)
-    chosen.insert(pool[static_cast<size_t>(i)]);
+    chosen.insert(pool[ZU(i)]);
 
   return {chosen.begin(), chosen.end()};
 }
@@ -64,7 +64,7 @@ std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
   for (int64_t node : nodes) {
     PreparedTarget t;
     t.node = node;
-    t.true_label = ctx.data->labels[node];
+    t.true_label = ctx.data->labels[ZU(node)];
     t.budget = std::max<int64_t>(1, ctx.data->graph.Degree(node));
 
     AttackRequest request;

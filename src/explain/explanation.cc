@@ -16,8 +16,8 @@ std::vector<Edge> Explanation::TopEdges(int64_t limit) const {
   std::vector<Edge> top;
   const int64_t k =
       std::min<int64_t>(limit, static_cast<int64_t>(ranked_edges.size()));
-  top.reserve(static_cast<size_t>(k));
-  for (int64_t i = 0; i < k; ++i) top.push_back(ranked_edges[i].edge);
+  top.reserve(ZU(k));
+  for (int64_t i = 0; i < k; ++i) top.push_back(ranked_edges[ZU(i)].edge);
   return top;
 }
 

@@ -117,7 +117,7 @@ void PgExplainer::Train(const Tensor& adjacency,
       // A + scatter(gate - 1) zeroes out down-weighted edges only.
       Var masked = Add(adj, ScatterEdges(AddScalar(gate, -1.0), pairs, n));
       Var logits = GcnLogitsVar(ctx, masked);
-      Var loss = NllRow(logits, v, labels[v]);
+      Var loss = NllRow(logits, v, labels[ZU(v)]);
       // Both regularizers are normalized per edge so they do not swamp the
       // single-instance NLL on large subgraphs.
       if (config_.size_coeff > 0)
@@ -166,8 +166,8 @@ void PgExplainer::TrainGraph(const Graph& graph,
     inst.sf = MakeSparseAttackForward(inst.view, *model_, xw1_full);
     for (const IndexPair& e : inst.view.edges_local)
       inst.pairs_global.push_back(
-          {inst.view.nodes[static_cast<size_t>(e.u)],
-           inst.view.nodes[static_cast<size_t>(e.v)]});
+          {inst.view.nodes[ZU(e.u)],
+           inst.view.nodes[ZU(e.v)]});
     prepared.push_back(std::move(inst));
   }
   // The views moved into the vector; re-point each forward at its view.
@@ -192,7 +192,7 @@ void PgExplainer::TrainGraph(const Graph& graph,
       Var gate = Sigmoid(omega);
       Var values = DirectedFromUndirected(inst.sf, gate);
       Var logits = SparseGcnLogitsVar(inst.sf, values);
-      Var loss = NllRow(logits, inst.view.target_local, labels[v]);
+      Var loss = NllRow(logits, inst.view.target_local, labels[ZU(v)]);
       if (config_.size_coeff > 0)
         loss = Add(loss, MulScalar(Sum(gate), config_.size_coeff /
                                                   static_cast<double>(p)));

@@ -36,15 +36,16 @@ CitationGraphConfig PresetConfig(DatasetId id, double scale) {
   const DatasetStats stats = PaperStats(id);
   CitationGraphConfig cfg;
   cfg.num_nodes = std::max<int64_t>(
-      stats.classes * 8, static_cast<int64_t>(std::llround(stats.nodes * scale)));
+      stats.classes * 8,
+      std::llround(static_cast<double>(stats.nodes) * scale));
   cfg.num_edges = std::max<int64_t>(
-      cfg.num_nodes, static_cast<int64_t>(std::llround(stats.edges * scale)));
+      cfg.num_nodes, std::llround(static_cast<double>(stats.edges) * scale));
   cfg.num_classes = stats.classes;
   // Feature dimensionality shrinks sub-linearly: informativeness matters,
   // raw width only costs time.
   cfg.feature_dim = std::max<int64_t>(
       stats.classes * 16,
-      static_cast<int64_t>(std::llround(stats.features * std::sqrt(scale))));
+      std::llround(static_cast<double>(stats.features) * std::sqrt(scale)));
   cfg.homophily = 0.8;
   switch (id) {
     case DatasetId::kCiteseer:

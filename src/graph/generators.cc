@@ -28,18 +28,20 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
   const int64_t c = config.num_classes;
 
   // Balanced label assignment, then shuffled so labels are not contiguous.
-  std::vector<int64_t> labels(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) labels[i] = i % c;
+  std::vector<int64_t> labels(ZU(n));
+  for (int64_t i = 0; i < n; ++i) labels[ZU(i)] = i % c;
   rng->Shuffle(&labels);
 
   // Degree-corrected propensities, bucketed per class for weighted sampling.
-  std::vector<double> propensity(static_cast<size_t>(n));
+  std::vector<double> propensity(ZU(n));
   for (auto& p : propensity) p = DegreePropensity(config.degree_exponent, rng);
-  std::vector<std::vector<int64_t>> nodes_of_class(static_cast<size_t>(c));
-  for (int64_t i = 0; i < n; ++i) nodes_of_class[labels[i]].push_back(i);
-  std::vector<std::vector<double>> weight_of_class(static_cast<size_t>(c));
+  std::vector<std::vector<int64_t>> nodes_of_class(ZU(c));
+  for (int64_t i = 0; i < n; ++i)
+    nodes_of_class[ZU(labels[ZU(i)])].push_back(i);
+  std::vector<std::vector<double>> weight_of_class(ZU(c));
   for (int64_t k = 0; k < c; ++k)
-    for (int64_t i : nodes_of_class[k]) weight_of_class[k].push_back(propensity[i]);
+    for (int64_t i : nodes_of_class[ZU(k)])
+      weight_of_class[ZU(k)].push_back(propensity[ZU(i)]);
 
   // Prefix-sum samplers: O(log n) per draw instead of a linear scan, which
   // is what makes multi-10k-node generation (the sparse-path benchmarks)
@@ -47,8 +49,9 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
   // Rng::SampleWeighted, so seeded graphs are unchanged.
   const WeightedSampler propensity_sampler(propensity);
   std::vector<WeightedSampler> class_samplers;
-  class_samplers.reserve(static_cast<size_t>(c));
-  for (int64_t k = 0; k < c; ++k) class_samplers.emplace_back(weight_of_class[k]);
+  class_samplers.reserve(ZU(c));
+  for (int64_t k = 0; k < c; ++k)
+    class_samplers.emplace_back(weight_of_class[ZU(k)]);
 
   Graph graph(n);
   // Sample edges: pick endpoint u by propensity; pick v same-class with
@@ -61,13 +64,13 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
     const int64_t u = propensity_sampler.Sample(rng);
     int64_t target_class;
     if (rng->Bernoulli(config.homophily)) {
-      target_class = labels[u];
+      target_class = labels[ZU(u)];
     } else {
       target_class = rng->UniformInt(0, c - 1);
-      if (target_class == labels[u]) target_class = (target_class + 1) % c;
+      if (target_class == labels[ZU(u)]) target_class = (target_class + 1) % c;
     }
-    const auto& bucket = nodes_of_class[target_class];
-    const int64_t v = bucket[class_samplers[target_class].Sample(rng)];
+    const auto& bucket = nodes_of_class[ZU(target_class)];
+    const int64_t v = bucket[ZU(class_samplers[ZU(target_class)].Sample(rng))];
     if (u == v) continue;
     graph.AddEdge(u, v);
   }
@@ -75,10 +78,10 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
   // the LCC keeps most of the graph (as on the real datasets).
   for (int64_t i = 0; i < n; ++i) {
     if (graph.Degree(i) > 0) continue;
-    const auto& bucket = nodes_of_class[labels[i]];
+    const auto& bucket = nodes_of_class[ZU(labels[ZU(i)])];
     for (int tries = 0; tries < 20; ++tries) {
-      const int64_t v = bucket[rng->UniformInt(
-          0, static_cast<int64_t>(bucket.size()) - 1)];
+      const int64_t v = bucket[ZU(rng->UniformInt(
+          0, static_cast<int64_t>(bucket.size()) - 1))];
       if (v != i && graph.AddEdge(i, v)) break;
     }
   }
@@ -90,7 +93,7 @@ GraphData GenerateCitationGraph(const CitationGraphConfig& config, Rng* rng) {
   const int64_t words = std::min(config.words_per_class, d / c);
   Tensor features(n, d);
   for (int64_t i = 0; i < n; ++i) {
-    const int64_t base = labels[i] * words;
+    const int64_t base = labels[ZU(i)] * words;
     for (int64_t j = 0; j < d; ++j) {
       const bool topic = j >= base && j < base + words;
       const double p = topic ? config.topic_on_prob : config.background_on_prob;
@@ -111,10 +114,10 @@ GraphData KeepLargestConnectedComponent(const GraphData& data) {
   Graph lcc = data.graph.LargestConnectedComponent(&mapping);
   const int64_t m = lcc.num_nodes();
   Tensor features(m, data.features.cols());
-  std::vector<int64_t> labels(static_cast<size_t>(m));
+  std::vector<int64_t> labels(ZU(m));
   for (int64_t i = 0; i < m; ++i) {
-    const int64_t old = mapping[i];
-    labels[i] = data.labels[old];
+    const int64_t old = mapping[ZU(i)];
+    labels[ZU(i)] = data.labels[ZU(old)];
     for (int64_t j = 0; j < data.features.cols(); ++j)
       features.at(i, j) = data.features.at(old, j);
   }
@@ -142,25 +145,25 @@ Split MakeSplit(const GraphData& data, double train_frac, double val_frac,
   Split split;
   // Stratified: split each class's nodes independently so small classes are
   // represented in training even at 10%.
-  std::vector<std::vector<int64_t>> by_class(
-      static_cast<size_t>(data.num_classes));
+  std::vector<std::vector<int64_t>> by_class(ZU(data.num_classes));
   for (int64_t i = 0; i < data.num_nodes(); ++i)
-    by_class[data.labels[i]].push_back(i);
+    by_class[ZU(data.labels[ZU(i)])].push_back(i);
   for (auto& bucket : by_class) {
     rng->Shuffle(&bucket);
     const auto sz = static_cast<int64_t>(bucket.size());
+    const double dsz = static_cast<double>(sz);
     int64_t n_train = std::max<int64_t>(
-        1, static_cast<int64_t>(std::llround(train_frac * sz)));
-    int64_t n_val = static_cast<int64_t>(std::llround(val_frac * sz));
+        1, static_cast<int64_t>(std::llround(train_frac * dsz)));
+    int64_t n_val = static_cast<int64_t>(std::llround(val_frac * dsz));
     n_train = std::min(n_train, sz);
     n_val = std::min(n_val, sz - n_train);
     for (int64_t i = 0; i < sz; ++i) {
       if (i < n_train) {
-        split.train.push_back(bucket[i]);
+        split.train.push_back(bucket[ZU(i)]);
       } else if (i < n_train + n_val) {
-        split.val.push_back(bucket[i]);
+        split.val.push_back(bucket[ZU(i)]);
       } else {
-        split.test.push_back(bucket[i]);
+        split.test.push_back(bucket[ZU(i)]);
       }
     }
   }

@@ -7,7 +7,7 @@
 
 namespace geattack {
 
-Graph::Graph(int64_t num_nodes) : adj_(static_cast<size_t>(num_nodes)) {
+Graph::Graph(int64_t num_nodes) : adj_(ZU(num_nodes)) {
   GEA_CHECK(num_nodes >= 0);
 }
 
@@ -27,42 +27,42 @@ Graph Graph::FromDense(const Tensor& adjacency) {
 bool Graph::AddEdge(int64_t u, int64_t v) {
   GEA_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
   if (u == v) return false;
-  if (adj_[u].count(v)) return false;
-  adj_[u].insert(v);
-  adj_[v].insert(u);
+  if (adj_[ZU(u)].count(v)) return false;
+  adj_[ZU(u)].insert(v);
+  adj_[ZU(v)].insert(u);
   ++num_edges_;
   return true;
 }
 
 bool Graph::RemoveEdge(int64_t u, int64_t v) {
   GEA_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
-  if (!adj_[u].count(v)) return false;
-  adj_[u].erase(v);
-  adj_[v].erase(u);
+  if (!adj_[ZU(u)].count(v)) return false;
+  adj_[ZU(u)].erase(v);
+  adj_[ZU(v)].erase(u);
   --num_edges_;
   return true;
 }
 
 bool Graph::HasEdge(int64_t u, int64_t v) const {
   GEA_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
-  return adj_[u].count(v) > 0;
+  return adj_[ZU(u)].count(v) > 0;
 }
 
 int64_t Graph::Degree(int64_t u) const {
   GEA_CHECK(u >= 0 && u < num_nodes());
-  return static_cast<int64_t>(adj_[u].size());
+  return static_cast<int64_t>(adj_[ZU(u)].size());
 }
 
 const std::set<int64_t>& Graph::Neighbors(int64_t u) const {
   GEA_CHECK(u >= 0 && u < num_nodes());
-  return adj_[u];
+  return adj_[ZU(u)];
 }
 
 std::vector<Edge> Graph::Edges() const {
   std::vector<Edge> edges;
-  edges.reserve(static_cast<size_t>(num_edges_));
+  edges.reserve(ZU(num_edges_));
   for (int64_t u = 0; u < num_nodes(); ++u)
-    for (int64_t v : adj_[u])
+    for (int64_t v : adj_[ZU(u)])
       if (u < v) edges.emplace_back(u, v);
   return edges;
 }
@@ -70,7 +70,7 @@ std::vector<Edge> Graph::Edges() const {
 Tensor Graph::DenseAdjacency() const {
   Tensor a(num_nodes(), num_nodes());
   for (int64_t u = 0; u < num_nodes(); ++u)
-    for (int64_t v : adj_[u]) a.at(u, v) = 1.0;
+    for (int64_t v : adj_[ZU(u)]) a.at(u, v) = 1.0;
   return a;
 }
 
@@ -78,12 +78,12 @@ CsrMatrix Graph::CsrAdjacency() const {
   const int64_t n = num_nodes();
   auto pattern = std::make_shared<CsrPattern>();
   pattern->rows = pattern->cols = n;
-  pattern->row_ptr.reserve(static_cast<size_t>(n) + 1);
+  pattern->row_ptr.reserve(ZU(n) + 1);
   pattern->row_ptr.push_back(0);
-  pattern->col_idx.reserve(static_cast<size_t>(2 * num_edges_));
+  pattern->col_idx.reserve(ZU(2 * num_edges_));
   for (int64_t u = 0; u < n; ++u) {
-    pattern->col_idx.insert(pattern->col_idx.end(), adj_[u].begin(),
-                            adj_[u].end());
+    pattern->col_idx.insert(pattern->col_idx.end(), adj_[ZU(u)].begin(),
+                            adj_[ZU(u)].end());
     pattern->row_ptr.push_back(static_cast<int64_t>(pattern->col_idx.size()));
   }
   std::vector<double> values(pattern->col_idx.size(), 1.0);
@@ -92,18 +92,18 @@ CsrMatrix Graph::CsrAdjacency() const {
 
 std::vector<int64_t> Graph::KHopNeighborhood(int64_t center, int hops) const {
   GEA_CHECK(center >= 0 && center < num_nodes());
-  std::vector<int64_t> dist(static_cast<size_t>(num_nodes()), -1);
+  std::vector<int64_t> dist(ZU(num_nodes()), -1);
   std::queue<int64_t> q;
-  dist[center] = 0;
+  dist[ZU(center)] = 0;
   q.push(center);
   std::vector<int64_t> result{center};
   while (!q.empty()) {
     int64_t u = q.front();
     q.pop();
-    if (dist[u] >= hops) continue;
-    for (int64_t v : adj_[u]) {
-      if (dist[v] < 0) {
-        dist[v] = dist[u] + 1;
+    if (dist[ZU(u)] >= hops) continue;
+    for (int64_t v : adj_[ZU(u)]) {
+      if (dist[ZU(v)] < 0) {
+        dist[ZU(v)] = dist[ZU(u)] + 1;
         result.push_back(v);
         q.push(v);
       }
@@ -114,19 +114,19 @@ std::vector<int64_t> Graph::KHopNeighborhood(int64_t center, int hops) const {
 }
 
 std::vector<int64_t> Graph::ConnectedComponents() const {
-  std::vector<int64_t> comp(static_cast<size_t>(num_nodes()), -1);
+  std::vector<int64_t> comp(ZU(num_nodes()), -1);
   int64_t next = 0;
   for (int64_t s = 0; s < num_nodes(); ++s) {
-    if (comp[s] >= 0) continue;
-    comp[s] = next;
+    if (comp[ZU(s)] >= 0) continue;
+    comp[ZU(s)] = next;
     std::queue<int64_t> q;
     q.push(s);
     while (!q.empty()) {
       int64_t u = q.front();
       q.pop();
-      for (int64_t v : adj_[u]) {
-        if (comp[v] < 0) {
-          comp[v] = next;
+      for (int64_t v : adj_[ZU(u)]) {
+        if (comp[ZU(v)] < 0) {
+          comp[ZU(v)] = next;
           q.push(v);
         }
       }
@@ -142,6 +142,8 @@ Graph Graph::LargestConnectedComponent(std::vector<int64_t>* mapping) const {
   for (int64_t c : comp) ++sizes[c];
   int64_t best = 0;
   int64_t best_size = -1;
+  // lint-ok: unordered-iteration (max-size/min-id selection: ties break on
+  // the smallest component id, so the result is independent of hash order)
   for (const auto& [c, s] : sizes) {
     if (s > best_size || (s == best_size && c < best)) {
       best = c;
@@ -149,18 +151,18 @@ Graph Graph::LargestConnectedComponent(std::vector<int64_t>* mapping) const {
     }
   }
   std::vector<int64_t> old_ids;
-  std::vector<int64_t> new_id(static_cast<size_t>(num_nodes()), -1);
+  std::vector<int64_t> new_id(ZU(num_nodes()), -1);
   for (int64_t u = 0; u < num_nodes(); ++u) {
-    if (comp[u] == best) {
-      new_id[u] = static_cast<int64_t>(old_ids.size());
+    if (comp[ZU(u)] == best) {
+      new_id[ZU(u)] = static_cast<int64_t>(old_ids.size());
       old_ids.push_back(u);
     }
   }
   Graph g(static_cast<int64_t>(old_ids.size()));
   for (int64_t u = 0; u < num_nodes(); ++u) {
-    if (new_id[u] < 0) continue;
-    for (int64_t v : adj_[u])
-      if (u < v && new_id[v] >= 0) g.AddEdge(new_id[u], new_id[v]);
+    if (new_id[ZU(u)] < 0) continue;
+    for (int64_t v : adj_[ZU(u)])
+      if (u < v && new_id[ZU(v)] >= 0) g.AddEdge(new_id[ZU(u)], new_id[ZU(v)]);
   }
   if (mapping != nullptr) *mapping = std::move(old_ids);
   return g;
@@ -169,10 +171,10 @@ Graph Graph::LargestConnectedComponent(std::vector<int64_t>* mapping) const {
 bool Graph::CheckInvariants() const {
   int64_t half_edges = 0;
   for (int64_t u = 0; u < num_nodes(); ++u) {
-    if (adj_[u].count(u)) return false;  // No self loops.
-    for (int64_t v : adj_[u]) {
+    if (adj_[ZU(u)].count(u)) return false;  // No self loops.
+    for (int64_t v : adj_[ZU(u)]) {
       if (v < 0 || v >= num_nodes()) return false;
-      if (!adj_[v].count(u)) return false;  // Symmetry.
+      if (!adj_[ZU(v)].count(u)) return false;  // Symmetry.
       ++half_edges;
     }
   }
@@ -234,7 +236,7 @@ CsrMatrix ApplyEdgeFlips(const CsrMatrix& adjacency,
 
   auto out = std::make_shared<CsrPattern>();
   out->rows = out->cols = n;
-  out->row_ptr.reserve(static_cast<size_t>(n) + 1);
+  out->row_ptr.reserve(ZU(n) + 1);
   out->row_ptr.push_back(0);
   out->col_idx.reserve(p.col_idx.size() + add_dir.size());
   std::vector<double> values;
@@ -242,20 +244,20 @@ CsrMatrix ApplyEdgeFlips(const CsrMatrix& adjacency,
 
   size_t ai = 0, ri = 0;
   for (int64_t i = 0; i < n; ++i) {
-    int64_t e = p.row_ptr[i];
-    const int64_t e_end = p.row_ptr[i + 1];
+    int64_t e = p.row_ptr[ZU(i)];
+    const int64_t e_end = p.row_ptr[ZU(i + 1)];
     // Merge the existing row with this row's additions; drop removals.
     while (e < e_end || (ai < add_dir.size() && add_dir[ai].first == i)) {
       const bool take_add =
           ai < add_dir.size() && add_dir[ai].first == i &&
-          (e >= e_end || add_dir[ai].second < p.col_idx[e]);
+          (e >= e_end || add_dir[ai].second < p.col_idx[ZU(e)]);
       if (take_add) {
         out->col_idx.push_back(add_dir[ai].second);
         values.push_back(1.0);
         ++ai;
         continue;
       }
-      const int64_t j = p.col_idx[e];
+      const int64_t j = p.col_idx[ZU(e)];
       GEA_CHECK(!(ai < add_dir.size() && add_dir[ai].first == i &&
                   add_dir[ai].second == j));  // Added edge already present.
       if (ri < rem_dir.size() && rem_dir[ri].first == i &&
@@ -263,7 +265,7 @@ CsrMatrix ApplyEdgeFlips(const CsrMatrix& adjacency,
         ++ri;  // Removed: skip the entry.
       } else {
         out->col_idx.push_back(j);
-        values.push_back(adjacency.values()[static_cast<size_t>(e)]);
+        values.push_back(adjacency.values()[ZU(e)]);
       }
       ++e;
     }
@@ -283,10 +285,10 @@ CsrMatrix GcnRenormalizeAfterAdds(const CsrMatrix& norm_adjacency,
   if (added.empty()) return norm_adjacency;
 
   // Per-node degree deltas from the additions.
-  std::vector<int64_t> delta(static_cast<size_t>(n), 0);
+  std::vector<int64_t> delta(ZU(n), 0);
   for (const Edge& e : added) {
-    ++delta[static_cast<size_t>(e.u)];
-    ++delta[static_cast<size_t>(e.v)];
+    ++delta[ZU(e.u)];
+    ++delta[ZU(e.v)];
   }
 
   // Merge the new slots in.  Seeding them with 1/√(d̃_u·d̃_v) of the *old*
@@ -296,7 +298,7 @@ CsrMatrix GcnRenormalizeAfterAdds(const CsrMatrix& norm_adjacency,
   const CsrPattern& p = *out.pattern();
   std::vector<double>& val = out.mutable_values();
   auto entry_of = [&p](int64_t r, int64_t c) {
-    const int64_t lo = p.row_ptr[r], hi = p.row_ptr[r + 1];
+    const int64_t lo = p.row_ptr[ZU(r)], hi = p.row_ptr[ZU(r + 1)];
     const auto it = std::lower_bound(p.col_idx.begin() + lo,
                                      p.col_idx.begin() + hi, c);
     GEA_CHECK(it != p.col_idx.begin() + hi && *it == c);
@@ -304,8 +306,8 @@ CsrMatrix GcnRenormalizeAfterAdds(const CsrMatrix& norm_adjacency,
   };
   for (const Edge& e : added) {
     const double seed = 1.0 / std::sqrt(degp1.at(e.u, 0) * degp1.at(e.v, 0));
-    val[static_cast<size_t>(entry_of(e.u, e.v))] = seed;
-    val[static_cast<size_t>(entry_of(e.v, e.u))] = seed;
+    val[ZU(entry_of(e.u, e.v))] = seed;
+    val[ZU(entry_of(e.v, e.u))] = seed;
   }
 
   // Rescale every entry incident to a touched node i by
@@ -313,13 +315,13 @@ CsrMatrix GcnRenormalizeAfterAdds(const CsrMatrix& norm_adjacency,
   // column side, so (i, j) with both endpoints touched gets f_i·f_j and the
   // diagonal gets f_i².
   for (int64_t i = 0; i < n; ++i) {
-    if (delta[static_cast<size_t>(i)] == 0) continue;
+    if (delta[ZU(i)] == 0) continue;
     const double f = std::sqrt(
         degp1.at(i, 0) /
-        (degp1.at(i, 0) + static_cast<double>(delta[static_cast<size_t>(i)])));
-    for (int64_t e = p.row_ptr[i]; e < p.row_ptr[i + 1]; ++e) {
-      val[static_cast<size_t>(e)] *= f;
-      val[static_cast<size_t>(entry_of(p.col_idx[e], i))] *= f;
+        (degp1.at(i, 0) + static_cast<double>(delta[ZU(i)])));
+    for (int64_t e = p.row_ptr[ZU(i)]; e < p.row_ptr[ZU(i + 1)]; ++e) {
+      val[ZU(e)] *= f;
+      val[ZU(entry_of(p.col_idx[ZU(e)], i))] *= f;
     }
   }
   return out;

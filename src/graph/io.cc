@@ -39,14 +39,14 @@ bool LoadGraphData(std::istream& is, GraphData* data) {
     return false;
   data->graph = Graph(n);
   data->features = Tensor(n, d);
-  data->labels.assign(static_cast<size_t>(n), 0);
+  data->labels.assign(ZU(n), 0);
   data->num_classes = c;
 
   std::string tag;
   if (!(is >> tag) || tag != "labels") return false;
   for (int64_t i = 0; i < n; ++i) {
-    if (!(is >> data->labels[i])) return false;
-    if (data->labels[i] < 0 || data->labels[i] >= c) return false;
+    if (!(is >> data->labels[ZU(i)])) return false;
+    if (data->labels[ZU(i)] < 0 || data->labels[ZU(i)] >= c) return false;
   }
   while (is >> tag) {
     if (tag == "end") break;

@@ -14,11 +14,11 @@ std::shared_ptr<const CsrMatrix> UnitSelector(
   auto p = std::make_shared<CsrPattern>();
   p->rows = rows;
   p->cols = cols;
-  p->row_ptr.reserve(static_cast<size_t>(rows) + 1);
+  p->row_ptr.reserve(ZU(rows) + 1);
   p->row_ptr.push_back(0);
   for (int64_t r = 0; r < rows; ++r) {
-    if (col_of_row[static_cast<size_t>(r)] >= 0)
-      p->col_idx.push_back(col_of_row[static_cast<size_t>(r)]);
+    if (col_of_row[ZU(r)] >= 0)
+      p->col_idx.push_back(col_of_row[ZU(r)]);
     p->row_ptr.push_back(static_cast<int64_t>(p->col_idx.size()));
   }
   std::vector<double> values(p->col_idx.size(), 1.0);
@@ -59,22 +59,22 @@ SubgraphView BuildSubgraphView(
 
   SubgraphView view;
   view.candidates_global = candidates_global;
-  view.global_to_local.assign(static_cast<size_t>(n), -1);
+  view.global_to_local.assign(ZU(n), -1);
 
   // ----- Node set: hops-hop ball around the target in the augmented graph
   // (the candidate edges put every candidate at distance 1). -----
   if (hops < 0) {
-    view.nodes.resize(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) view.nodes[static_cast<size_t>(i)] = i;
+    view.nodes.resize(ZU(n));
+    for (int64_t i = 0; i < n; ++i) view.nodes[ZU(i)] = i;
   } else {
-    std::vector<int> dist(static_cast<size_t>(n), -1);
+    std::vector<int> dist(ZU(n), -1);
     std::queue<int64_t> q;
-    dist[static_cast<size_t>(target)] = 0;
+    dist[ZU(target)] = 0;
     q.push(target);
     if (hops >= 1) {
       for (int64_t c : candidates_global) {
-        if (dist[static_cast<size_t>(c)] < 0) {
-          dist[static_cast<size_t>(c)] = 1;
+        if (dist[ZU(c)] < 0) {
+          dist[ZU(c)] = 1;
           q.push(c);
         }
       }
@@ -82,26 +82,26 @@ SubgraphView BuildSubgraphView(
     while (!q.empty()) {
       const int64_t u = q.front();
       q.pop();
-      if (dist[static_cast<size_t>(u)] >= hops) continue;
+      if (dist[ZU(u)] >= hops) continue;
       for (int64_t w : graph.Neighbors(u)) {
-        if (dist[static_cast<size_t>(w)] < 0) {
-          dist[static_cast<size_t>(w)] = dist[static_cast<size_t>(u)] + 1;
+        if (dist[ZU(w)] < 0) {
+          dist[ZU(w)] = dist[ZU(u)] + 1;
           q.push(w);
         }
       }
     }
     for (int64_t i = 0; i < n; ++i)
-      if (dist[static_cast<size_t>(i)] >= 0) view.nodes.push_back(i);
+      if (dist[ZU(i)] >= 0) view.nodes.push_back(i);
   }
   for (size_t l = 0; l < view.nodes.size(); ++l)
-    view.global_to_local[static_cast<size_t>(view.nodes[l])] =
+    view.global_to_local[ZU(view.nodes[l])] =
         static_cast<int64_t>(l);
-  view.target_local = view.global_to_local[static_cast<size_t>(target)];
+  view.target_local = view.global_to_local[ZU(target)];
   const int64_t ns = view.num_nodes();
 
   view.candidates_local.reserve(candidates_global.size());
   for (int64_t c : candidates_global) {
-    const int64_t lc = view.global_to_local[static_cast<size_t>(c)];
+    const int64_t lc = view.global_to_local[ZU(c)];
     GEA_CHECK(lc >= 0);  // Candidates are in the ball by construction.
     view.candidates_local.push_back(lc);
   }
@@ -110,10 +110,10 @@ SubgraphView BuildSubgraphView(
   // ----- Induced clean edges and out-degrees. -----
   view.out_degree = Tensor(ns, 1);
   for (int64_t l = 0; l < ns; ++l) {
-    const int64_t g = view.nodes[static_cast<size_t>(l)];
+    const int64_t g = view.nodes[ZU(l)];
     int64_t internal = 0;
     for (int64_t w : graph.Neighbors(g)) {
-      const int64_t lw = view.global_to_local[static_cast<size_t>(w)];
+      const int64_t lw = view.global_to_local[ZU(w)];
       if (lw < 0) continue;
       ++internal;
       if (l < lw) view.edges_local.push_back({l, lw});
@@ -128,22 +128,22 @@ SubgraphView BuildSubgraphView(
   const int64_t num_slots = num_edges + m;
 
   // ----- Augmented pattern: per-row sorted columns. -----
-  std::vector<std::vector<int64_t>> rows(static_cast<size_t>(ns));
-  for (int64_t l = 0; l < ns; ++l) rows[static_cast<size_t>(l)].push_back(l);
+  std::vector<std::vector<int64_t>> rows(ZU(ns));
+  for (int64_t l = 0; l < ns; ++l) rows[ZU(l)].push_back(l);
   for (const IndexPair& e : view.edges_local) {
-    rows[static_cast<size_t>(e.u)].push_back(e.v);
-    rows[static_cast<size_t>(e.v)].push_back(e.u);
+    rows[ZU(e.u)].push_back(e.v);
+    rows[ZU(e.v)].push_back(e.u);
   }
   for (int64_t lc : view.candidates_local) {
-    rows[static_cast<size_t>(view.target_local)].push_back(lc);
-    rows[static_cast<size_t>(lc)].push_back(view.target_local);
+    rows[ZU(view.target_local)].push_back(lc);
+    rows[ZU(lc)].push_back(view.target_local);
   }
   auto pattern = std::make_shared<CsrPattern>();
   pattern->rows = pattern->cols = ns;
-  pattern->row_ptr.reserve(static_cast<size_t>(ns) + 1);
+  pattern->row_ptr.reserve(ZU(ns) + 1);
   pattern->row_ptr.push_back(0);
   for (int64_t l = 0; l < ns; ++l) {
-    auto& row = rows[static_cast<size_t>(l)];
+    auto& row = rows[ZU(l)];
     std::sort(row.begin(), row.end());
     pattern->col_idx.insert(pattern->col_idx.end(), row.begin(), row.end());
     pattern->row_ptr.push_back(static_cast<int64_t>(pattern->col_idx.size()));
@@ -152,14 +152,14 @@ SubgraphView BuildSubgraphView(
 
   // ----- Slot bookkeeping: classify every nnz position. -----
   // slot_of_local_pair: for (u,v) with u < v, the undirected slot id.
-  view.slot_nnz.assign(static_cast<size_t>(num_slots), {-1, -1});
-  view.diag_nnz.assign(static_cast<size_t>(ns), -1);
-  std::vector<int64_t> slot_of_nnz(static_cast<size_t>(nnz), -1);
-  std::vector<int64_t> cand_of_nnz(static_cast<size_t>(nnz), -1);
+  view.slot_nnz.assign(ZU(num_slots), {-1, -1});
+  view.diag_nnz.assign(ZU(ns), -1);
+  std::vector<int64_t> slot_of_nnz(ZU(nnz), -1);
+  std::vector<int64_t> cand_of_nnz(ZU(nnz), -1);
   // Candidate lookup for rows incident to the target.
-  std::vector<int64_t> cand_index_of_local(static_cast<size_t>(ns), -1);
+  std::vector<int64_t> cand_index_of_local(ZU(ns), -1);
   for (int64_t k = 0; k < m; ++k)
-    cand_index_of_local[static_cast<size_t>(view.candidates_local[k])] = k;
+    cand_index_of_local[ZU(view.candidates_local[ZU(k)])] = k;
 
   // Walk rows, resolving each (i, j) to diag / clean-edge / candidate.
   // Clean-edge slot ids are recovered by the same lexicographic order used
@@ -178,11 +178,11 @@ SubgraphView BuildSubgraphView(
       return static_cast<int64_t>(it - view.edges_local.begin());
     };
     for (int64_t i = 0; i < ns; ++i) {
-      for (int64_t e = pattern->row_ptr[i]; e < pattern->row_ptr[i + 1];
+      for (int64_t e = pattern->row_ptr[ZU(i)]; e < pattern->row_ptr[ZU(i + 1)];
            ++e) {
-        const int64_t j = pattern->col_idx[e];
+        const int64_t j = pattern->col_idx[ZU(e)];
         if (i == j) {
-          view.diag_nnz[static_cast<size_t>(i)] = e;
+          view.diag_nnz[ZU(i)] = e;
           continue;
         }
         int64_t slot;
@@ -190,15 +190,15 @@ SubgraphView BuildSubgraphView(
                                 j == view.target_local;
         const int64_t other = i == view.target_local ? j : i;
         const int64_t cand =
-            target_row ? cand_index_of_local[static_cast<size_t>(other)] : -1;
+            target_row ? cand_index_of_local[ZU(other)] : -1;
         if (cand >= 0) {
           slot = num_edges + cand;
-          cand_of_nnz[static_cast<size_t>(e)] = cand;
+          cand_of_nnz[ZU(e)] = cand;
         } else {
           slot = edge_slot(i, j);
         }
-        slot_of_nnz[static_cast<size_t>(e)] = slot;
-        auto& pair = view.slot_nnz[static_cast<size_t>(slot)];
+        slot_of_nnz[ZU(e)] = slot;
+        auto& pair = view.slot_nnz[ZU(slot)];
         (pair.first < 0 ? pair.first : pair.second) = e;
       }
     }
@@ -207,7 +207,7 @@ SubgraphView BuildSubgraphView(
   // ----- Base values. -----
   view.base_values = Tensor(nnz, 1);
   for (int64_t e = 0; e < nnz; ++e) {
-    const int64_t slot = slot_of_nnz[static_cast<size_t>(e)];
+    const int64_t slot = slot_of_nnz[ZU(e)];
     view.base_values.at(e, 0) =
         (slot < 0 /* diag */ || slot < num_edges) ? 1.0 : 0.0;
   }
@@ -218,13 +218,13 @@ SubgraphView BuildSubgraphView(
   view.slot_expand = UnitSelector(nnz, num_slots, slot_of_nnz);
   view.cand_expand = UnitSelector(nnz, m, cand_of_nnz);
   {
-    std::vector<int64_t> pad(static_cast<size_t>(num_slots), -1);
+    std::vector<int64_t> pad(ZU(num_slots), -1);
     for (int64_t k = 0; k < m; ++k)
-      pad[static_cast<size_t>(num_edges + k)] = k;
+      pad[ZU(num_edges + k)] = k;
     view.cand_slot_pad = UnitSelector(num_slots, m, pad);
-    std::vector<int64_t> take(static_cast<size_t>(m));
+    std::vector<int64_t> take(ZU(m));
     for (int64_t k = 0; k < m; ++k)
-      take[static_cast<size_t>(k)] = num_edges + k;
+      take[ZU(k)] = num_edges + k;
     view.cand_slot_take = UnitSelector(m, num_slots, take);
   }
 
@@ -252,19 +252,19 @@ int64_t FindPair(const std::vector<IndexPair>& pairs, int64_t u, int64_t v) {
 std::vector<char> BallFlags(const Graph& graph, int64_t target, int hops,
                             const std::vector<int64_t>& candidates_global) {
   const int64_t n = graph.num_nodes();
-  std::vector<char> in_ball(static_cast<size_t>(n), 0);
+  std::vector<char> in_ball(ZU(n), 0);
   if (hops < 0) {
     std::fill(in_ball.begin(), in_ball.end(), 1);
     return in_ball;
   }
-  std::vector<int> dist(static_cast<size_t>(n), -1);
+  std::vector<int> dist(ZU(n), -1);
   std::queue<int64_t> q;
-  dist[static_cast<size_t>(target)] = 0;
+  dist[ZU(target)] = 0;
   q.push(target);
   if (hops >= 1) {
     for (int64_t c : candidates_global) {
-      if (dist[static_cast<size_t>(c)] < 0) {
-        dist[static_cast<size_t>(c)] = 1;
+      if (dist[ZU(c)] < 0) {
+        dist[ZU(c)] = 1;
         q.push(c);
       }
     }
@@ -272,16 +272,16 @@ std::vector<char> BallFlags(const Graph& graph, int64_t target, int hops,
   while (!q.empty()) {
     const int64_t u = q.front();
     q.pop();
-    if (dist[static_cast<size_t>(u)] >= hops) continue;
+    if (dist[ZU(u)] >= hops) continue;
     for (int64_t w : graph.Neighbors(u)) {
-      if (dist[static_cast<size_t>(w)] < 0) {
-        dist[static_cast<size_t>(w)] = dist[static_cast<size_t>(u)] + 1;
+      if (dist[ZU(w)] < 0) {
+        dist[ZU(w)] = dist[ZU(u)] + 1;
         q.push(w);
       }
     }
   }
   for (int64_t i = 0; i < n; ++i)
-    if (dist[static_cast<size_t>(i)] >= 0) in_ball[static_cast<size_t>(i)] = 1;
+    if (dist[ZU(i)] >= 0) in_ball[ZU(i)] = 1;
   return in_ball;
 }
 
@@ -295,43 +295,43 @@ BatchedSubgraphView BuildBatchedSubgraphView(
   GEA_CHECK(k >= 1);
   GEA_CHECK(candidates_global.size() == targets.size());
   for (int64_t t = 0; t < k; ++t) {
-    GEA_CHECK(targets[static_cast<size_t>(t)] >= 0 &&
-              targets[static_cast<size_t>(t)] < n);
-    for (int64_t c : candidates_global[static_cast<size_t>(t)]) {
-      GEA_CHECK(c >= 0 && c < n && c != targets[static_cast<size_t>(t)]);
-      GEA_CHECK(!graph.HasEdge(targets[static_cast<size_t>(t)], c));
+    GEA_CHECK(targets[ZU(t)] >= 0 &&
+              targets[ZU(t)] < n);
+    for (int64_t c : candidates_global[ZU(t)]) {
+      GEA_CHECK(c >= 0 && c < n && c != targets[ZU(t)]);
+      GEA_CHECK(!graph.HasEdge(targets[ZU(t)], c));
     }
   }
 
   BatchedSubgraphView bv;
   bv.targets_global = targets;
-  bv.global_to_local.assign(static_cast<size_t>(n), -1);
+  bv.global_to_local.assign(ZU(n), -1);
 
   // ----- Per-target balls and their union. -----
-  std::vector<std::vector<char>> ball(static_cast<size_t>(k));
+  std::vector<std::vector<char>> ball(ZU(k));
   for (int64_t t = 0; t < k; ++t)
-    ball[static_cast<size_t>(t)] =
-        BallFlags(graph, targets[static_cast<size_t>(t)], hops,
-                  candidates_global[static_cast<size_t>(t)]);
+    ball[ZU(t)] =
+        BallFlags(graph, targets[ZU(t)], hops,
+                  candidates_global[ZU(t)]);
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t t = 0; t < k; ++t) {
-      if (ball[static_cast<size_t>(t)][static_cast<size_t>(i)]) {
+      if (ball[ZU(t)][ZU(i)]) {
         bv.nodes.push_back(i);
         break;
       }
     }
   }
   for (size_t l = 0; l < bv.nodes.size(); ++l)
-    bv.global_to_local[static_cast<size_t>(bv.nodes[l])] =
+    bv.global_to_local[ZU(bv.nodes[l])] =
         static_cast<int64_t>(l);
   const int64_t ns = bv.num_nodes();
 
   // ----- Union induced clean edges, canonical (u < v) local order. -----
   std::vector<IndexPair> union_edges;
   for (int64_t l = 0; l < ns; ++l) {
-    const int64_t g = bv.nodes[static_cast<size_t>(l)];
+    const int64_t g = bv.nodes[ZU(l)];
     for (int64_t w : graph.Neighbors(g)) {
-      const int64_t lw = bv.global_to_local[static_cast<size_t>(w)];
+      const int64_t lw = bv.global_to_local[ZU(w)];
       if (lw >= 0 && l < lw) union_edges.push_back({l, lw});
     }
   }
@@ -342,10 +342,10 @@ BatchedSubgraphView BuildBatchedSubgraphView(
   // independent). -----
   std::vector<IndexPair> cand_pairs;
   for (int64_t t = 0; t < k; ++t) {
-    const int64_t tl = bv.global_to_local[static_cast<size_t>(
-        targets[static_cast<size_t>(t)])];
-    for (int64_t c : candidates_global[static_cast<size_t>(t)]) {
-      const int64_t lc = bv.global_to_local[static_cast<size_t>(c)];
+    const int64_t tl = bv.global_to_local[ZU(
+        targets[ZU(t)])];
+    for (int64_t c : candidates_global[ZU(t)]) {
+      const int64_t lc = bv.global_to_local[ZU(c)];
       GEA_CHECK(tl >= 0 && lc >= 0);  // In the ball by construction.
       cand_pairs.push_back({std::min(tl, lc), std::max(tl, lc)});
     }
@@ -361,22 +361,22 @@ BatchedSubgraphView BuildBatchedSubgraphView(
                    cand_pairs.end());
 
   // ----- Shared augmented pattern: diag + clean + candidate slots. -----
-  std::vector<std::vector<int64_t>> rows(static_cast<size_t>(ns));
-  for (int64_t l = 0; l < ns; ++l) rows[static_cast<size_t>(l)].push_back(l);
+  std::vector<std::vector<int64_t>> rows(ZU(ns));
+  for (int64_t l = 0; l < ns; ++l) rows[ZU(l)].push_back(l);
   for (const IndexPair& e : union_edges) {
-    rows[static_cast<size_t>(e.u)].push_back(e.v);
-    rows[static_cast<size_t>(e.v)].push_back(e.u);
+    rows[ZU(e.u)].push_back(e.v);
+    rows[ZU(e.v)].push_back(e.u);
   }
   for (const IndexPair& e : cand_pairs) {
-    rows[static_cast<size_t>(e.u)].push_back(e.v);
-    rows[static_cast<size_t>(e.v)].push_back(e.u);
+    rows[ZU(e.u)].push_back(e.v);
+    rows[ZU(e.v)].push_back(e.u);
   }
   auto pattern = std::make_shared<CsrPattern>();
   pattern->rows = pattern->cols = ns;
-  pattern->row_ptr.reserve(static_cast<size_t>(ns) + 1);
+  pattern->row_ptr.reserve(ZU(ns) + 1);
   pattern->row_ptr.push_back(0);
   for (int64_t l = 0; l < ns; ++l) {
-    auto& row = rows[static_cast<size_t>(l)];
+    auto& row = rows[ZU(l)];
     std::sort(row.begin(), row.end());
     pattern->col_idx.insert(pattern->col_idx.end(), row.begin(), row.end());
     pattern->row_ptr.push_back(static_cast<int64_t>(pattern->col_idx.size()));
@@ -384,62 +384,63 @@ BatchedSubgraphView BuildBatchedSubgraphView(
   const int64_t nnz = pattern->nnz();
 
   // ----- Classify every nnz position: diag / clean edge / candidate. -----
-  bv.diag_nnz.assign(static_cast<size_t>(ns), -1);
+  bv.diag_nnz.assign(ZU(ns), -1);
   std::vector<std::pair<int64_t, int64_t>> edge_nnz(
-      static_cast<size_t>(num_union_edges), {-1, -1});
+      ZU(num_union_edges), {-1, -1});
   std::vector<std::pair<int64_t, int64_t>> cand_nnz(cand_pairs.size(),
                                                     {-1, -1});
-  std::vector<int64_t> edge_of_nnz(static_cast<size_t>(nnz), -1);
-  std::vector<int64_t> cand_pair_of_nnz(static_cast<size_t>(nnz), -1);
+  std::vector<int64_t> edge_of_nnz(ZU(nnz), -1);
+  std::vector<int64_t> cand_pair_of_nnz(ZU(nnz), -1);
   for (int64_t i = 0; i < ns; ++i) {
-    for (int64_t e = pattern->row_ptr[i]; e < pattern->row_ptr[i + 1]; ++e) {
-      const int64_t j = pattern->col_idx[e];
+    for (int64_t e = pattern->row_ptr[ZU(i)];
+         e < pattern->row_ptr[ZU(i + 1)]; ++e) {
+      const int64_t j = pattern->col_idx[ZU(e)];
       if (i == j) {
-        bv.diag_nnz[static_cast<size_t>(i)] = e;
+        bv.diag_nnz[ZU(i)] = e;
         continue;
       }
       const int64_t cp = FindPair(cand_pairs, i, j);
       if (cp >= 0) {
-        cand_pair_of_nnz[static_cast<size_t>(e)] = cp;
-        auto& pair = cand_nnz[static_cast<size_t>(cp)];
+        cand_pair_of_nnz[ZU(e)] = cp;
+        auto& pair = cand_nnz[ZU(cp)];
         (pair.first < 0 ? pair.first : pair.second) = e;
         continue;
       }
       const int64_t eid = FindPair(union_edges, i, j);
       GEA_CHECK(eid >= 0);
-      edge_of_nnz[static_cast<size_t>(e)] = eid;
-      auto& pair = edge_nnz[static_cast<size_t>(eid)];
+      edge_of_nnz[ZU(e)] = eid;
+      auto& pair = edge_nnz[ZU(eid)];
       (pair.first < 0 ? pair.first : pair.second) = e;
     }
   }
 
   // ----- Per-target views over the shared pattern. -----
-  bv.per_target.reserve(static_cast<size_t>(k));
+  bv.per_target.reserve(ZU(k));
   for (int64_t t = 0; t < k; ++t) {
-    const std::vector<char>& bt = ball[static_cast<size_t>(t)];
+    const std::vector<char>& bt = ball[ZU(t)];
     SubgraphView v;
     v.nodes = bv.nodes;
     v.global_to_local = bv.global_to_local;
-    v.target_local = bv.global_to_local[static_cast<size_t>(
-        targets[static_cast<size_t>(t)])];
-    v.candidates_global = candidates_global[static_cast<size_t>(t)];
+    v.target_local = bv.global_to_local[ZU(
+        targets[ZU(t)])];
+    v.candidates_global = candidates_global[ZU(t)];
     v.candidates_local.reserve(v.candidates_global.size());
     for (int64_t c : v.candidates_global)
       v.candidates_local.push_back(
-          bv.global_to_local[static_cast<size_t>(c)]);
+          bv.global_to_local[ZU(c)]);
     const int64_t m = v.num_candidates();
 
     // t's in-ball subset of the union edges; because both remaps ascend in
     // global id, the subset keeps the exact slot order of t's standalone
     // view.  edge_slot_of_union[eid] is t's undirected slot, or -1.
     std::vector<int64_t> edge_slot_of_union(
-        static_cast<size_t>(num_union_edges), -1);
+        ZU(num_union_edges), -1);
     for (int64_t eid = 0; eid < num_union_edges; ++eid) {
-      const IndexPair& e = union_edges[static_cast<size_t>(eid)];
-      const int64_t gu = bv.nodes[static_cast<size_t>(e.u)];
-      const int64_t gv = bv.nodes[static_cast<size_t>(e.v)];
-      if (bt[static_cast<size_t>(gu)] && bt[static_cast<size_t>(gv)]) {
-        edge_slot_of_union[static_cast<size_t>(eid)] =
+      const IndexPair& e = union_edges[ZU(eid)];
+      const int64_t gu = bv.nodes[ZU(e.u)];
+      const int64_t gv = bv.nodes[ZU(e.v)];
+      if (bt[ZU(gu)] && bt[ZU(gv)]) {
+        edge_slot_of_union[ZU(eid)] =
             static_cast<int64_t>(v.edges_local.size());
         v.edges_local.push_back(e);
       }
@@ -452,55 +453,55 @@ BatchedSubgraphView BuildBatchedSubgraphView(
     // 0, so the value never matters — it only has to be positive).
     v.out_degree = Tensor(ns, 1);
     for (int64_t l = 0; l < ns; ++l) {
-      const int64_t g = bv.nodes[static_cast<size_t>(l)];
-      if (!bt[static_cast<size_t>(g)]) {
+      const int64_t g = bv.nodes[ZU(l)];
+      if (!bt[ZU(g)]) {
         v.out_degree.at(l, 0) = static_cast<double>(graph.Degree(g)) + 1.0;
         continue;
       }
       int64_t internal = 0;
       for (int64_t w : graph.Neighbors(g))
-        if (bt[static_cast<size_t>(w)]) ++internal;
+        if (bt[ZU(w)]) ++internal;
       v.out_degree.at(l, 0) =
           static_cast<double>(graph.Degree(g) - internal);
     }
 
     // Value-level masking: 1.0 only on t's own clean-edge and diagonal
     // slots.
-    std::vector<int64_t> slot_of_nnz(static_cast<size_t>(nnz), -1);
-    std::vector<int64_t> cand_of_nnz(static_cast<size_t>(nnz), -1);
-    std::vector<int64_t> cand_index_of_local(static_cast<size_t>(ns), -1);
+    std::vector<int64_t> slot_of_nnz(ZU(nnz), -1);
+    std::vector<int64_t> cand_of_nnz(ZU(nnz), -1);
+    std::vector<int64_t> cand_index_of_local(ZU(ns), -1);
     for (int64_t c = 0; c < m; ++c)
-      cand_index_of_local[static_cast<size_t>(
-          v.candidates_local[static_cast<size_t>(c)])] = c;
+      cand_index_of_local[ZU(
+          v.candidates_local[ZU(c)])] = c;
 
     v.base_values = Tensor(nnz, 1);
-    v.slot_nnz.assign(static_cast<size_t>(num_slots_t), {-1, -1});
+    v.slot_nnz.assign(ZU(num_slots_t), {-1, -1});
     for (int64_t eid = 0; eid < num_union_edges; ++eid) {
-      const int64_t slot = edge_slot_of_union[static_cast<size_t>(eid)];
+      const int64_t slot = edge_slot_of_union[ZU(eid)];
       if (slot < 0) continue;
-      const auto& pair = edge_nnz[static_cast<size_t>(eid)];
-      v.slot_nnz[static_cast<size_t>(slot)] = pair;
+      const auto& pair = edge_nnz[ZU(eid)];
+      v.slot_nnz[ZU(slot)] = pair;
       v.base_values.at(pair.first, 0) = 1.0;
       v.base_values.at(pair.second, 0) = 1.0;
-      slot_of_nnz[static_cast<size_t>(pair.first)] = slot;
-      slot_of_nnz[static_cast<size_t>(pair.second)] = slot;
+      slot_of_nnz[ZU(pair.first)] = slot;
+      slot_of_nnz[ZU(pair.second)] = slot;
     }
     for (int64_t c = 0; c < m; ++c) {
       const int64_t cp = FindPair(
           cand_pairs, v.target_local,
-          v.candidates_local[static_cast<size_t>(c)]);
+          v.candidates_local[ZU(c)]);
       GEA_CHECK(cp >= 0);
-      const auto& pair = cand_nnz[static_cast<size_t>(cp)];
-      v.slot_nnz[static_cast<size_t>(num_edges_t + c)] = pair;
-      slot_of_nnz[static_cast<size_t>(pair.first)] = num_edges_t + c;
-      slot_of_nnz[static_cast<size_t>(pair.second)] = num_edges_t + c;
-      cand_of_nnz[static_cast<size_t>(pair.first)] = c;
-      cand_of_nnz[static_cast<size_t>(pair.second)] = c;
+      const auto& pair = cand_nnz[ZU(cp)];
+      v.slot_nnz[ZU(num_edges_t + c)] = pair;
+      slot_of_nnz[ZU(pair.first)] = num_edges_t + c;
+      slot_of_nnz[ZU(pair.second)] = num_edges_t + c;
+      cand_of_nnz[ZU(pair.first)] = c;
+      cand_of_nnz[ZU(pair.second)] = c;
     }
     for (int64_t l = 0; l < ns; ++l) {
-      if (!bt[static_cast<size_t>(bv.nodes[static_cast<size_t>(l)])])
+      if (!bt[ZU(bv.nodes[ZU(l)])])
         continue;
-      const int64_t d = bv.diag_nnz[static_cast<size_t>(l)];
+      const int64_t d = bv.diag_nnz[ZU(l)];
       v.base_values.at(d, 0) = 1.0;
       v.diag_nnz.push_back(d);  // In-ball diagonal positions only.
     }
@@ -510,13 +511,13 @@ BatchedSubgraphView BuildBatchedSubgraphView(
     v.slot_expand = UnitSelector(nnz, num_slots_t, slot_of_nnz);
     v.cand_expand = UnitSelector(nnz, m, cand_of_nnz);
     {
-      std::vector<int64_t> pad(static_cast<size_t>(num_slots_t), -1);
+      std::vector<int64_t> pad(ZU(num_slots_t), -1);
       for (int64_t c = 0; c < m; ++c)
-        pad[static_cast<size_t>(num_edges_t + c)] = c;
+        pad[ZU(num_edges_t + c)] = c;
       v.cand_slot_pad = UnitSelector(num_slots_t, m, pad);
-      std::vector<int64_t> take(static_cast<size_t>(m));
+      std::vector<int64_t> take(ZU(m));
       for (int64_t c = 0; c < m; ++c)
-        take[static_cast<size_t>(c)] = num_edges_t + c;
+        take[ZU(c)] = num_edges_t + c;
       v.cand_slot_take = UnitSelector(m, num_slots_t, take);
     }
     v.pattern = pattern;
@@ -536,23 +537,23 @@ std::vector<std::vector<int64_t>> GroupTargetsBySharedNeighbors(
     for (int64_t i = 0; i < m; ++i) groups.push_back({i});
     return groups;
   }
-  std::vector<char> used(static_cast<size_t>(m), 0);
+  std::vector<char> used(ZU(m), 0);
   for (int64_t i = 0; i < m; ++i) {
-    if (used[static_cast<size_t>(i)]) continue;
-    used[static_cast<size_t>(i)] = 1;
+    if (used[ZU(i)]) continue;
+    used[ZU(i)] = 1;
     std::vector<int64_t> group{i};
-    const auto& ni = graph.Neighbors(targets[static_cast<size_t>(i)]);
+    const auto& ni = graph.Neighbors(targets[ZU(i)]);
     std::vector<std::pair<int64_t, int64_t>> scored;  // (score, index).
     for (int64_t j = i + 1; j < m; ++j) {
-      if (used[static_cast<size_t>(j)]) continue;
+      if (used[ZU(j)]) continue;
       int64_t score =
-          graph.HasEdge(targets[static_cast<size_t>(i)],
-                        targets[static_cast<size_t>(j)]) ||
-                  targets[static_cast<size_t>(i)] ==
-                      targets[static_cast<size_t>(j)]
+          graph.HasEdge(targets[ZU(i)],
+                        targets[ZU(j)]) ||
+                  targets[ZU(i)] ==
+                      targets[ZU(j)]
               ? 1
               : 0;
-      for (int64_t w : graph.Neighbors(targets[static_cast<size_t>(j)]))
+      for (int64_t w : graph.Neighbors(targets[ZU(j)]))
         score += ni.count(w) ? 1 : 0;
       if (score > 0) scored.emplace_back(score, j);
     }
@@ -565,7 +566,7 @@ std::vector<std::vector<int64_t>> GroupTargetsBySharedNeighbors(
     for (const auto& [score, j] : scored) {
       if (static_cast<int64_t>(group.size()) >= max_group) break;
       group.push_back(j);
-      used[static_cast<size_t>(j)] = 1;
+      used[ZU(j)] = 1;
     }
     std::sort(group.begin(), group.end());
     groups.push_back(std::move(group));

@@ -75,7 +75,7 @@ Var CrossEntropyRows(const Var& logits, const std::vector<int64_t>& nodes,
   const double w = 1.0 / static_cast<double>(nodes.size());
   for (int64_t node : nodes) {
     GEA_CHECK(node >= 0 && node < logits.rows());
-    const int64_t y = labels[node];
+    const int64_t y = labels[ZU(node)];
     GEA_CHECK(y >= 0 && y < logits.cols());
     scatter.at(node, y) += w;
   }
@@ -83,8 +83,8 @@ Var CrossEntropyRows(const Var& logits, const std::vector<int64_t>& nodes,
 }
 
 std::vector<int64_t> PredictLabels(const Tensor& logits) {
-  std::vector<int64_t> pred(static_cast<size_t>(logits.rows()));
-  for (int64_t i = 0; i < logits.rows(); ++i) pred[i] = logits.ArgMaxRow(i);
+  std::vector<int64_t> pred(ZU(logits.rows()));
+  for (int64_t i = 0; i < logits.rows(); ++i) pred[ZU(i)] = logits.ArgMaxRow(i);
   return pred;
 }
 
@@ -93,7 +93,7 @@ double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels,
   if (nodes.empty()) return 0.0;
   int64_t correct = 0;
   for (int64_t node : nodes)
-    if (logits.ArgMaxRow(node) == labels[node]) ++correct;
+    if (logits.ArgMaxRow(node) == labels[ZU(node)]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(nodes.size());
 }
 

@@ -30,16 +30,16 @@ Tensor LinearizedGcn::LogitsRowFromNormalized(const CsrMatrix& norm_adj,
   const CsrPattern& p = *norm_adj.pattern();
   const std::vector<double>& v = norm_adj.values();
   // Two-hop row: row2 = Ã_node,: · Ã, accumulated sparsely.
-  std::vector<double> row2(static_cast<size_t>(norm_adj.cols()), 0.0);
-  for (int64_t e = p.row_ptr[node]; e < p.row_ptr[node + 1]; ++e) {
-    const int64_t j = p.col_idx[e];
-    const double w = v[static_cast<size_t>(e)];
-    for (int64_t f = p.row_ptr[j]; f < p.row_ptr[j + 1]; ++f)
-      row2[static_cast<size_t>(p.col_idx[f])] += w * v[static_cast<size_t>(f)];
+  std::vector<double> row2(ZU(norm_adj.cols()), 0.0);
+  for (int64_t e = p.row_ptr[ZU(node)]; e < p.row_ptr[ZU(node + 1)]; ++e) {
+    const int64_t j = p.col_idx[ZU(e)];
+    const double w = v[ZU(e)];
+    for (int64_t f = p.row_ptr[ZU(j)]; f < p.row_ptr[ZU(j + 1)]; ++f)
+      row2[ZU(p.col_idx[ZU(f)])] += w * v[ZU(f)];
   }
   Tensor out(1, xw_.cols());
   for (int64_t k = 0; k < norm_adj.cols(); ++k) {
-    const double w = row2[static_cast<size_t>(k)];
+    const double w = row2[ZU(k)];
     if (w == 0.0) continue;
     for (int64_t c = 0; c < xw_.cols(); ++c)
       out.at(0, c) += w * xw_.at(k, c);
@@ -56,38 +56,38 @@ Tensor LinearizedGcn::LogitsRowWithEdgeAdded(const CsrMatrix& norm_adj,
   const std::vector<double>& val = norm_adj.values();
   // Degree-rescaling factors of the two touched nodes; every stored
   // normalized entry (a, b) becomes val·f(a)·f(b).
-  const double fv = std::sqrt(degp1[static_cast<size_t>(v)] /
-                              (degp1[static_cast<size_t>(v)] + 1.0));
-  const double fj = std::sqrt(degp1[static_cast<size_t>(jnew)] /
-                              (degp1[static_cast<size_t>(jnew)] + 1.0));
+  const double fv = std::sqrt(degp1[ZU(v)] /
+                              (degp1[ZU(v)] + 1.0));
+  const double fj = std::sqrt(degp1[ZU(jnew)] /
+                              (degp1[ZU(jnew)] + 1.0));
   auto f = [&](int64_t i) { return i == v ? fv : (i == jnew ? fj : 1.0); };
   const double new_entry =
-      1.0 / std::sqrt((degp1[static_cast<size_t>(v)] + 1.0) *
-                      (degp1[static_cast<size_t>(jnew)] + 1.0));
+      1.0 / std::sqrt((degp1[ZU(v)] + 1.0) *
+                      (degp1[ZU(jnew)] + 1.0));
 
   // row2 = Ã'_v,: · Ã' accumulated sparsely; Ã' = Ã rescaled + the trial
   // entries (v, jnew) and (jnew, v).
-  std::vector<double> row2(static_cast<size_t>(norm_adj.cols()), 0.0);
+  std::vector<double> row2(ZU(norm_adj.cols()), 0.0);
   auto expand = [&](int64_t k, double w_vk) {
-    for (int64_t e = p.row_ptr[k]; e < p.row_ptr[k + 1]; ++e) {
-      const int64_t l = p.col_idx[e];
-      row2[static_cast<size_t>(l)] +=
-          w_vk * val[static_cast<size_t>(e)] * f(k) * f(l);
+    for (int64_t e = p.row_ptr[ZU(k)]; e < p.row_ptr[ZU(k + 1)]; ++e) {
+      const int64_t l = p.col_idx[ZU(e)];
+      row2[ZU(l)] +=
+          w_vk * val[ZU(e)] * f(k) * f(l);
     }
     // The trial edge extends row v with column jnew and row jnew with
     // column v.
-    if (k == v) row2[static_cast<size_t>(jnew)] += w_vk * new_entry;
-    if (k == jnew) row2[static_cast<size_t>(v)] += w_vk * new_entry;
+    if (k == v) row2[ZU(jnew)] += w_vk * new_entry;
+    if (k == jnew) row2[ZU(v)] += w_vk * new_entry;
   };
-  for (int64_t e = p.row_ptr[v]; e < p.row_ptr[v + 1]; ++e) {
-    const int64_t k = p.col_idx[e];
-    expand(k, val[static_cast<size_t>(e)] * fv * f(k));
+  for (int64_t e = p.row_ptr[ZU(v)]; e < p.row_ptr[ZU(v + 1)]; ++e) {
+    const int64_t k = p.col_idx[ZU(e)];
+    expand(k, val[ZU(e)] * fv * f(k));
   }
   expand(jnew, new_entry);
 
   Tensor out(1, xw_.cols());
   for (int64_t k = 0; k < norm_adj.cols(); ++k) {
-    const double w = row2[static_cast<size_t>(k)];
+    const double w = row2[ZU(k)];
     if (w == 0.0) continue;
     for (int64_t c = 0; c < xw_.cols(); ++c)
       out.at(0, c) += w * xw_.at(k, c);
@@ -98,8 +98,8 @@ Tensor LinearizedGcn::LogitsRowWithEdgeAdded(const CsrMatrix& norm_adj,
 namespace {
 
 std::vector<int64_t> AllDegrees(const Graph& g) {
-  std::vector<int64_t> d(static_cast<size_t>(g.num_nodes()));
-  for (int64_t i = 0; i < g.num_nodes(); ++i) d[i] = g.Degree(i);
+  std::vector<int64_t> d(ZU(g.num_nodes()));
+  for (int64_t i = 0; i < g.num_nodes(); ++i) d[ZU(i)] = g.Degree(i);
   return d;
 }
 
@@ -143,8 +143,8 @@ bool DegreeDistributionTest::EdgeAdditionUnnoticeable(const Graph& current,
   std::vector<int64_t> degrees = AllDegrees(current);
   GEA_CHECK(u >= 0 && u < static_cast<int64_t>(degrees.size()));
   GEA_CHECK(v >= 0 && v < static_cast<int64_t>(degrees.size()));
-  degrees[u] += 1;
-  degrees[v] += 1;
+  degrees[ZU(u)] += 1;
+  degrees[ZU(v)] += 1;
   double alpha_new = 0.0;
   const double ll_new = LogLikelihoodAlpha(degrees, &alpha_new);
 

@@ -423,8 +423,9 @@ Var SpmmValueGrad(std::shared_ptr<const CsrPattern> pattern, const Var& g,
 #endif
   for (int64_t i = 0; i < pattern->rows; ++i) {
     const double* grow = gd + i * k;
-    for (int64_t e = pattern->row_ptr[i]; e < pattern->row_ptr[i + 1]; ++e) {
-      const double* brow = bd + pattern->col_idx[e] * k;
+    for (int64_t e = pattern->row_ptr[ZU(i)];
+         e < pattern->row_ptr[ZU(i + 1)]; ++e) {
+      const double* brow = bd + pattern->col_idx[ZU(e)] * k;
       double s = 0.0;
       for (int64_t j = 0; j < k; ++j) s += grow[j] * brow[j];
       o[e] = s;
@@ -710,12 +711,12 @@ Var PermuteRows(const Var& a,
     const double* src_data = a.value().data().data();
     double* dst = out.mutable_data().data();
     for (int64_t i = 0; i < m; ++i) {
-      const int64_t src = (*perm)[static_cast<size_t>(i)];
+      const int64_t src = (*perm)[ZU(i)];
       GEA_CHECK(src >= 0 && src < m);
       const double* row = src_data + src * c;
       double* drow = dst + i * c;
       for (int64_t j = 0; j < c; ++j) drow[j] = row[j];
-      (*inverse)[static_cast<size_t>(src)] = i;
+      (*inverse)[ZU(src)] = i;
     }
   }
   return MakeOp(

@@ -11,10 +11,11 @@ bool CsrPattern::CheckInvariants() const {
   if (row_ptr.front() != 0) return false;
   if (row_ptr.back() != nnz()) return false;
   for (int64_t i = 0; i < rows; ++i) {
-    if (row_ptr[i] > row_ptr[i + 1]) return false;
-    for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
-      if (col_idx[e] < 0 || col_idx[e] >= cols) return false;
-      if (e > row_ptr[i] && col_idx[e] <= col_idx[e - 1]) return false;
+    if (row_ptr[ZU(i)] > row_ptr[ZU(i + 1)]) return false;
+    for (int64_t e = row_ptr[ZU(i)]; e < row_ptr[ZU(i + 1)]; ++e) {
+      if (col_idx[ZU(e)] < 0 || col_idx[ZU(e)] >= cols) return false;
+      if (e > row_ptr[ZU(i)] && col_idx[ZU(e)] <= col_idx[ZU(e - 1)])
+        return false;
     }
   }
   return true;
@@ -30,20 +31,21 @@ CsrTranspose TransposePattern(const CsrPattern& p) {
   auto t = std::make_shared<CsrPattern>();
   t->rows = p.cols;
   t->cols = p.rows;
-  t->row_ptr.assign(static_cast<size_t>(p.cols) + 1, 0);
-  t->col_idx.resize(static_cast<size_t>(p.nnz()));
+  t->row_ptr.assign(ZU(p.cols) + 1, 0);
+  t->col_idx.resize(ZU(p.nnz()));
   CsrTranspose out;
-  out.src_index.resize(static_cast<size_t>(p.nnz()));
+  out.src_index.resize(ZU(p.nnz()));
 
   // Counting sort by column.
-  for (int64_t c : p.col_idx) ++t->row_ptr[c + 1];
-  for (int64_t c = 0; c < p.cols; ++c) t->row_ptr[c + 1] += t->row_ptr[c];
+  for (int64_t c : p.col_idx) ++t->row_ptr[ZU(c + 1)];
+  for (int64_t c = 0; c < p.cols; ++c)
+    t->row_ptr[ZU(c + 1)] += t->row_ptr[ZU(c)];
   std::vector<int64_t> cursor(t->row_ptr.begin(), t->row_ptr.end() - 1);
   for (int64_t r = 0; r < p.rows; ++r) {
-    for (int64_t e = p.row_ptr[r]; e < p.row_ptr[r + 1]; ++e) {
-      const int64_t dst = cursor[p.col_idx[e]]++;
-      t->col_idx[dst] = r;  // Rows visited in order => sorted within row.
-      out.src_index[dst] = e;
+    for (int64_t e = p.row_ptr[ZU(r)]; e < p.row_ptr[ZU(r + 1)]; ++e) {
+      const int64_t dst = cursor[ZU(p.col_idx[ZU(e)])]++;
+      t->col_idx[ZU(dst)] = r;  // Rows visited in order => sorted within row.
+      out.src_index[ZU(dst)] = e;
     }
   }
   out.pattern = std::move(t);
@@ -82,8 +84,8 @@ void SpmmAccumulate(const CsrPattern& pattern, const Tensor& dense,
 #pragma omp parallel for schedule(dynamic, 64)
 #endif
   for (int64_t i = 0; i < pattern.rows; ++i) {
-    const int64_t e0 = row_ptr[i];
-    const int64_t e1 = row_ptr[i + 1];
+    const int64_t e0 = row_ptr[ZU(i)];
+    const int64_t e1 = row_ptr[ZU(i + 1)];
     if (k == 1) {
       // Vector fast path — the (·,1) degree/gather products the sparse
       // attack forward issues constantly.  Sorted columns mean contiguous
@@ -182,7 +184,7 @@ Tensor SpmmStackedRaw(const CsrPattern& pattern, const Tensor& values,
 #endif
   for (int64_t i = 0; i < pattern.rows; ++i) {
     double* GEA_RESTRICT row_out = o + i * kb;
-    for (int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+    for (int64_t e = row_ptr[ZU(i)]; e < row_ptr[ZU(i + 1)]; ++e) {
       const double* GEA_RESTRICT ve = v + e * k;
       const double* GEA_RESTRICT brow = bd + col[e] * kb;
       for (int64_t t = 0; t < k; ++t) {
@@ -223,8 +225,9 @@ Tensor SpmmValueGradStackedRaw(const CsrPattern& pattern, const Tensor& g,
 #endif
   for (int64_t i = 0; i < pattern.rows; ++i) {
     const double* GEA_RESTRICT grow = gd + i * km;
-    for (int64_t e = pattern.row_ptr[i]; e < pattern.row_ptr[i + 1]; ++e) {
-      const double* GEA_RESTRICT brow = bd + pattern.col_idx[e] * km;
+    const int64_t e_end = pattern.row_ptr[ZU(i + 1)];
+    for (int64_t e = pattern.row_ptr[ZU(i)]; e < e_end; ++e) {
+      const double* GEA_RESTRICT brow = bd + pattern.col_idx[ZU(e)] * km;
       for (int64_t t = 0; t < k; ++t) {
         if (mask != nullptr && mask[e * k + t] == 0.0) {
           o[e * k + t] = 0.0;
@@ -249,16 +252,17 @@ std::vector<double> NormDinv(const CsrPattern& pattern,
                              const std::vector<double>& values,
                              const double* out_deg) {
   const int64_t n = pattern.rows;
-  std::vector<double> dinv(static_cast<size_t>(n));
+  std::vector<double> dinv(ZU(n));
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static)
 #endif
   for (int64_t i = 0; i < n; ++i) {
     double d = 0.0;
-    for (int64_t e = pattern.row_ptr[i]; e < pattern.row_ptr[i + 1]; ++e)
-      d += values[static_cast<size_t>(e)];
+    for (int64_t e = pattern.row_ptr[ZU(i)]; e < pattern.row_ptr[ZU(i + 1)];
+         ++e)
+      d += values[ZU(e)];
     if (out_deg != nullptr) d += out_deg[i];
-    dinv[static_cast<size_t>(i)] = std::pow(d, -0.5);
+    dinv[ZU(i)] = std::pow(d, -0.5);
   }
   return dinv;
 }
@@ -281,7 +285,8 @@ Tensor GcnNormValuesRaw(const CsrPattern& pattern,
 #endif
   for (int64_t i = 0; i < pattern.rows; ++i) {
     const double si = s[i];
-    for (int64_t e = pattern.row_ptr[i]; e < pattern.row_ptr[i + 1]; ++e)
+    for (int64_t e = pattern.row_ptr[ZU(i)]; e < pattern.row_ptr[ZU(i + 1)];
+         ++e)
       o[e] = (v[e] * si) * s[col[e]];
   }
   return out;
@@ -307,7 +312,8 @@ Tensor GcnNormValuesStackedRaw(const CsrPattern& pattern, const Tensor& values,
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t t = 0; t < k; ++t) {
       double d = 0.0;
-      for (int64_t e = pattern.row_ptr[i]; e < pattern.row_ptr[i + 1]; ++e)
+      for (int64_t e = pattern.row_ptr[ZU(i)];
+           e < pattern.row_ptr[ZU(i + 1)]; ++e)
         d += v[e * k + t];
       d += od[i * k + t];
       s[i * k + t] = std::pow(d, -0.5);
@@ -321,7 +327,8 @@ Tensor GcnNormValuesStackedRaw(const CsrPattern& pattern, const Tensor& values,
 #endif
   for (int64_t i = 0; i < pattern.rows; ++i) {
     const double* GEA_RESTRICT si = s + i * k;
-    for (int64_t e = pattern.row_ptr[i]; e < pattern.row_ptr[i + 1]; ++e) {
+    for (int64_t e = pattern.row_ptr[ZU(i)]; e < pattern.row_ptr[ZU(i + 1)];
+         ++e) {
       const double* GEA_RESTRICT sc = s + col[e] * k;
       for (int64_t t = 0; t < k; ++t)
         o[e * k + t] = (v[e * k + t] * si[t]) * sc[t];
@@ -363,7 +370,7 @@ CsrMatrix CsrMatrix::FromDense(const Tensor& dense, double tol) {
   auto pattern = std::make_shared<CsrPattern>();
   pattern->rows = dense.rows();
   pattern->cols = dense.cols();
-  pattern->row_ptr.reserve(static_cast<size_t>(dense.rows()) + 1);
+  pattern->row_ptr.reserve(ZU(dense.rows()) + 1);
   pattern->row_ptr.push_back(0);
   std::vector<double> values;
   for (int64_t i = 0; i < dense.rows(); ++i) {
@@ -381,18 +388,19 @@ CsrMatrix CsrMatrix::FromDense(const Tensor& dense, double tol) {
 
 double CsrMatrix::At(int64_t r, int64_t c) const {
   GEA_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
-  const auto begin = pattern_->col_idx.begin() + pattern_->row_ptr[r];
-  const auto end = pattern_->col_idx.begin() + pattern_->row_ptr[r + 1];
+  const auto begin = pattern_->col_idx.begin() + pattern_->row_ptr[ZU(r)];
+  const auto end = pattern_->col_idx.begin() + pattern_->row_ptr[ZU(r + 1)];
   const auto it = std::lower_bound(begin, end, c);
   if (it == end || *it != c) return 0.0;
-  return values_[static_cast<size_t>(it - pattern_->col_idx.begin())];
+  return values_[ZU(it - pattern_->col_idx.begin())];
 }
 
 Tensor CsrMatrix::ToDense() const {
   Tensor out(rows(), cols());
   for (int64_t i = 0; i < rows(); ++i)
-    for (int64_t e = pattern_->row_ptr[i]; e < pattern_->row_ptr[i + 1]; ++e)
-      out.at(i, pattern_->col_idx[e]) += values_[static_cast<size_t>(e)];
+    for (int64_t e = pattern_->row_ptr[ZU(i)];
+         e < pattern_->row_ptr[ZU(i + 1)]; ++e)
+      out.at(i, pattern_->col_idx[ZU(e)]) += values_[ZU(e)];
   return out;
 }
 
@@ -406,7 +414,7 @@ CsrMatrix CsrMatrix::Transposed() const {
   const CsrTranspose& t = pattern_->Transpose();
   std::vector<double> values(values_.size());
   for (size_t e = 0; e < values.size(); ++e)
-    values[e] = values_[static_cast<size_t>(t.src_index[e])];
+    values[e] = values_[ZU(t.src_index[e])];
   return CsrMatrix(t.pattern, std::move(values));
 }
 
@@ -414,8 +422,9 @@ Tensor CsrMatrix::RowSums() const {
   Tensor out(rows(), 1);
   for (int64_t i = 0; i < rows(); ++i) {
     double s = 0.0;
-    for (int64_t e = pattern_->row_ptr[i]; e < pattern_->row_ptr[i + 1]; ++e)
-      s += values_[static_cast<size_t>(e)];
+    for (int64_t e = pattern_->row_ptr[ZU(i)];
+         e < pattern_->row_ptr[ZU(i + 1)]; ++e)
+      s += values_[ZU(e)];
     out.at(i, 0) = s;
   }
   return out;
@@ -441,31 +450,31 @@ CsrMatrix GcnNormalizeCsr(const CsrMatrix& adjacency) {
   const int64_t n = p.rows;
 
   // Degrees of A + I.
-  std::vector<double> dinv(static_cast<size_t>(n));
+  std::vector<double> dinv(ZU(n));
   for (int64_t i = 0; i < n; ++i) {
     double d = 1.0;  // Self loop.
-    for (int64_t e = p.row_ptr[i]; e < p.row_ptr[i + 1]; ++e)
-      d += av[static_cast<size_t>(e)];
+    for (int64_t e = p.row_ptr[ZU(i)]; e < p.row_ptr[ZU(i + 1)]; ++e)
+      d += av[ZU(e)];
     GEA_CHECK(d > 0.0);
-    dinv[static_cast<size_t>(i)] = 1.0 / std::sqrt(d);
+    dinv[ZU(i)] = 1.0 / std::sqrt(d);
   }
 
   // Build (A + I) row by row, inserting the diagonal in sorted position
   // (or merging into it when already present), scaled by dinv on both sides.
   auto out = std::make_shared<CsrPattern>();
   out->rows = out->cols = n;
-  out->row_ptr.reserve(static_cast<size_t>(n) + 1);
+  out->row_ptr.reserve(ZU(n) + 1);
   out->row_ptr.push_back(0);
-  out->col_idx.reserve(p.col_idx.size() + static_cast<size_t>(n));
+  out->col_idx.reserve(p.col_idx.size() + ZU(n));
   std::vector<double> values;
-  values.reserve(p.col_idx.size() + static_cast<size_t>(n));
+  values.reserve(p.col_idx.size() + ZU(n));
 
   for (int64_t i = 0; i < n; ++i) {
-    const double di = dinv[static_cast<size_t>(i)];
+    const double di = dinv[ZU(i)];
     bool diag_emitted = false;
-    for (int64_t e = p.row_ptr[i]; e < p.row_ptr[i + 1]; ++e) {
-      const int64_t j = p.col_idx[e];
-      double v = av[static_cast<size_t>(e)];
+    for (int64_t e = p.row_ptr[ZU(i)]; e < p.row_ptr[ZU(i + 1)]; ++e) {
+      const int64_t j = p.col_idx[ZU(e)];
+      double v = av[ZU(e)];
       if (!diag_emitted && j >= i) {
         if (j == i) {
           v += 1.0;
@@ -476,7 +485,7 @@ CsrMatrix GcnNormalizeCsr(const CsrMatrix& adjacency) {
         diag_emitted = true;
       }
       out->col_idx.push_back(j);
-      values.push_back(di * v * dinv[static_cast<size_t>(j)]);
+      values.push_back(di * v * dinv[ZU(j)]);
     }
     if (!diag_emitted) {
       out->col_idx.push_back(i);

@@ -33,7 +33,7 @@ Tensor Tensor::Scalar(double v) { return Tensor(1, 1, {v}); }
 
 Tensor Tensor::Identity(int64_t n) {
   Tensor t(n, n);
-  for (int64_t i = 0; i < n; ++i) t.data_[i * n + i] = 1.0;
+  for (int64_t i = 0; i < n; ++i) t.data_[ZU(i * n + i)] = 1.0;
   return t;
 }
 
@@ -48,7 +48,7 @@ Tensor Tensor::Zeros(int64_t rows, int64_t cols) {
 Tensor Tensor::OneHotRow(int64_t n, int64_t index) {
   GEA_CHECK(index >= 0 && index < n);
   Tensor t(1, n);
-  t.data_[index] = 1.0;
+  t.data_[ZU(index)] = 1.0;
   return t;
 }
 
@@ -60,28 +60,28 @@ double Tensor::scalar() const {
 Tensor Tensor::operator+(const Tensor& o) const {
   GEA_CHECK(same_shape(o));
   Tensor r = *this;
-  for (int64_t i = 0; i < size(); ++i) r.data_[i] += o.data_[i];
+  for (int64_t i = 0; i < size(); ++i) r.data_[ZU(i)] += o.data_[ZU(i)];
   return r;
 }
 
 Tensor Tensor::operator-(const Tensor& o) const {
   GEA_CHECK(same_shape(o));
   Tensor r = *this;
-  for (int64_t i = 0; i < size(); ++i) r.data_[i] -= o.data_[i];
+  for (int64_t i = 0; i < size(); ++i) r.data_[ZU(i)] -= o.data_[ZU(i)];
   return r;
 }
 
 Tensor Tensor::operator*(const Tensor& o) const {
   GEA_CHECK(same_shape(o));
   Tensor r = *this;
-  for (int64_t i = 0; i < size(); ++i) r.data_[i] *= o.data_[i];
+  for (int64_t i = 0; i < size(); ++i) r.data_[ZU(i)] *= o.data_[ZU(i)];
   return r;
 }
 
 Tensor Tensor::operator/(const Tensor& o) const {
   GEA_CHECK(same_shape(o));
   Tensor r = *this;
-  for (int64_t i = 0; i < size(); ++i) r.data_[i] /= o.data_[i];
+  for (int64_t i = 0; i < size(); ++i) r.data_[ZU(i)] /= o.data_[ZU(i)];
   return r;
 }
 
@@ -89,13 +89,13 @@ Tensor Tensor::operator-() const { return MulScalar(-1.0); }
 
 Tensor& Tensor::operator+=(const Tensor& o) {
   GEA_CHECK(same_shape(o));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += o.data_[i];
+  for (int64_t i = 0; i < size(); ++i) data_[ZU(i)] += o.data_[ZU(i)];
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& o) {
   GEA_CHECK(same_shape(o));
-  for (int64_t i = 0; i < size(); ++i) data_[i] -= o.data_[i];
+  for (int64_t i = 0; i < size(); ++i) data_[ZU(i)] -= o.data_[ZU(i)];
   return *this;
 }
 
@@ -193,7 +193,7 @@ Tensor Tensor::Transposed() const {
   Tensor r(cols_, rows_);
   for (int64_t i = 0; i < rows_; ++i)
     for (int64_t j = 0; j < cols_; ++j)
-      r.data_[j * rows_ + i] = data_[i * cols_ + j];
+      r.data_[ZU(j * rows_ + i)] = data_[ZU(i * cols_ + j)];
   return r;
 }
 
@@ -217,8 +217,8 @@ Tensor Tensor::RowSum() const {
   Tensor r(rows_, 1);
   for (int64_t i = 0; i < rows_; ++i) {
     double s = 0.0;
-    for (int64_t j = 0; j < cols_; ++j) s += data_[i * cols_ + j];
-    r.data_[i] = s;
+    for (int64_t j = 0; j < cols_; ++j) s += data_[ZU(i * cols_ + j)];
+    r.data_[ZU(i)] = s;
   }
   return r;
 }
@@ -226,7 +226,8 @@ Tensor Tensor::RowSum() const {
 Tensor Tensor::ColSum() const {
   Tensor r(1, cols_);
   for (int64_t i = 0; i < rows_; ++i)
-    for (int64_t j = 0; j < cols_; ++j) r.data_[j] += data_[i * cols_ + j];
+    for (int64_t j = 0; j < cols_; ++j)
+      r.data_[ZU(j)] += data_[ZU(i * cols_ + j)];
   return r;
 }
 
@@ -236,8 +237,8 @@ Tensor Tensor::RowMax() const {
   for (int64_t i = 0; i < rows_; ++i) {
     double m = -std::numeric_limits<double>::infinity();
     for (int64_t j = 0; j < cols_; ++j)
-      m = std::max(m, data_[i * cols_ + j]);
-    r.data_[i] = m;
+      m = std::max(m, data_[ZU(i * cols_ + j)]);
+    r.data_[ZU(i)] = m;
   }
   return r;
 }
@@ -246,7 +247,7 @@ int64_t Tensor::ArgMaxRow(int64_t r) const {
   GEA_CHECK(r >= 0 && r < rows_ && cols_ > 0);
   int64_t best = 0;
   for (int64_t j = 1; j < cols_; ++j)
-    if (data_[r * cols_ + j] > data_[r * cols_ + best]) best = j;
+    if (data_[ZU(r * cols_ + j)] > data_[ZU(r * cols_ + best)]) best = j;
   return best;
 }
 
@@ -266,8 +267,8 @@ Tensor Tensor::BroadcastBinary(
     for (int64_t j = 0; j < cols_; ++j) {
       const int64_t oi = o.rows_ == 1 ? 0 : i;
       const int64_t oj = o.cols_ == 1 ? 0 : j;
-      r.data_[i * cols_ + j] =
-          f(data_[i * cols_ + j], o.data_[oi * o.cols_ + oj]);
+      r.data_[ZU(i * cols_ + j)] =
+          f(data_[ZU(i * cols_ + j)], o.data_[ZU(oi * o.cols_ + oj)]);
     }
   }
   return r;
@@ -275,7 +276,7 @@ Tensor Tensor::BroadcastBinary(
 
 void Tensor::FillDiagonal(double v) {
   GEA_CHECK(rows_ == cols_);
-  for (int64_t i = 0; i < rows_; ++i) data_[i * cols_ + i] = v;
+  for (int64_t i = 0; i < rows_; ++i) data_[ZU(i * cols_ + i)] = v;
 }
 
 Tensor Tensor::Row(int64_t r) const {
@@ -302,7 +303,7 @@ double Tensor::MaxAbsDiff(const Tensor& o) const {
   GEA_CHECK(same_shape(o));
   double m = 0.0;
   for (int64_t i = 0; i < size(); ++i)
-    m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+    m = std::max(m, std::fabs(data_[ZU(i)] - o.data_[ZU(i)]));
   return m;
 }
 

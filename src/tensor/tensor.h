@@ -34,6 +34,13 @@ namespace internal {
 [[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
 }  // namespace internal
 
+/// Index cast for std::vector subscripts.  The library indexes with int64_t
+/// (negative values are programming errors, caught by GEA_CHECK or by
+/// _GLIBCXX_ASSERTIONS in Debug builds); std::vector wants size_t.  ZU makes
+/// that no-op cast explicit so -Wsign-conversion builds stay clean without
+/// spelling static_cast through every kernel subscript.
+constexpr std::size_t ZU(int64_t i) { return static_cast<std::size_t>(i); }
+
 /// A dense row-major matrix of doubles.  A (1,1) tensor doubles as a scalar.
 class Tensor {
  public:
@@ -68,15 +75,15 @@ class Tensor {
 
   double& at(int64_t r, int64_t c) {
     GEA_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[ZU(r * cols_ + c)];
   }
   double at(int64_t r, int64_t c) const {
     GEA_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[ZU(r * cols_ + c)];
   }
   /// Unchecked flat access (row-major).
-  double& operator[](int64_t i) { return data_[i]; }
-  double operator[](int64_t i) const { return data_[i]; }
+  double& operator[](int64_t i) { return data_[ZU(i)]; }
+  double operator[](int64_t i) const { return data_[ZU(i)]; }
 
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& mutable_data() { return data_; }

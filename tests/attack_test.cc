@@ -151,7 +151,8 @@ double MeasureAsrT(const TargetedAttack& attack, int64_t max_targets = 6) {
                       t.target_label))
       ++success;
   }
-  return total == 0 ? 0.0 : static_cast<double>(success) / total;
+  return total == 0 ? 0.0
+                    : static_cast<double>(success) / static_cast<double>(total);
 }
 
 TEST(FgaTTest, HighTargetedSuccessRate) {
@@ -184,7 +185,7 @@ TEST(RnaTest, OnlyConnectsTargetLabelNodes) {
   AttackResult result = RandomAttack().Attack(f->ctx, req, &rng);
   for (const Edge& e : result.added_edges) {
     const int64_t other = e.u == t.node ? e.v : e.u;
-    EXPECT_EQ(f->data.labels[other], t.target_label);
+    EXPECT_EQ(f->data.labels[ZU(other)], t.target_label);
   }
 }
 

@@ -78,7 +78,7 @@ TEST(GradExplainerTest, ZeroGradientOutsideReceptiveField) {
   const int64_t node = f->targets[0].node;
   const Explanation e =
       explainer.Explain(f->ctx.clean_adjacency, node,
-                        f->data.labels[node]);
+                        f->data.labels[ZU(node)]);
   // All ranked edges lie within the 2-hop subgraph by construction.
   const auto subgraph = f->data.graph.KHopNeighborhood(node, 2);
   for (const ScoredEdge& se : e.ranked_edges) {
@@ -112,7 +112,8 @@ TEST(InspectorDefenseTest, RecoversFromGradientAttack) {
   ASSERT_GT(attacked, 0);
   // The paper's premise: pruning the top-ranked edges usually restores the
   // prediction when the attack is explainer-oblivious.
-  EXPECT_GE(static_cast<double>(recovered) / attacked, 0.5);
+  EXPECT_GE(static_cast<double>(recovered) / static_cast<double>(attacked),
+            0.5);
 }
 
 TEST(InspectorDefenseTest, PrunesOnlyIncidentEdgesWithinLimit) {

@@ -119,7 +119,7 @@ TEST(GnnExplainerTest, DetectsFgaAdversarialEdges) {
   }
   ASSERT_GT(evaluated, 0);
   // On average the gradient attack's edges must be clearly visible.
-  EXPECT_GT(total_ndcg / evaluated, 0.25);
+  EXPECT_GT(total_ndcg / static_cast<double>(evaluated), 0.25);
 }
 
 TEST(GnnExplainerTest, SparseEdgeListPathDetectsAdversarialEdges) {
@@ -160,7 +160,7 @@ TEST(GnnExplainerTest, SparseEdgeListPathDetectsAdversarialEdges) {
     ++evaluated;
   }
   ASSERT_GT(evaluated, 0);
-  EXPECT_GT(total_ndcg / evaluated, 0.25);
+  EXPECT_GT(total_ndcg / static_cast<double>(evaluated), 0.25);
 }
 
 TEST(PgExplainerTest, SparseTrainMatchesDenseTrain) {

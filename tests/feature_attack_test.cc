@@ -88,7 +88,7 @@ TEST(FeatureAttackTest, FlipsPredictionWithEnoughBudget) {
   ASSERT_GT(total, 0);
   // Bag-of-words features drive the GCN strongly: generous budgets should
   // flip most targets.
-  EXPECT_GE(static_cast<double>(success) / total, 0.5);
+  EXPECT_GE(static_cast<double>(success) / static_cast<double>(total), 0.5);
 }
 
 TEST(FeatureAttackTest, ZeroBudgetIsNoop) {

@@ -59,7 +59,7 @@ TEST(GcnTest, CrossEntropyRowsMatchesManualNll) {
   Var ce = CrossEntropyRows(logits, nodes, data.labels);
   double manual = 0.0;
   for (int64_t node : nodes)
-    manual += NllRow(logits, node, data.labels[node]).value().scalar();
+    manual += NllRow(logits, node, data.labels[ZU(node)]).value().scalar();
   manual /= static_cast<double>(nodes.size());
   EXPECT_NEAR(ce.value().scalar(), manual, 1e-10);
 }
@@ -165,7 +165,8 @@ TEST(LinearizedGcnTest, CorrelatesWithNonlinearModel) {
   int64_t agree = 0;
   for (int64_t i = 0; i < data.num_nodes(); ++i)
     if (full.ArgMaxRow(i) == sur.ArgMaxRow(i)) ++agree;
-  EXPECT_GT(static_cast<double>(agree) / data.num_nodes(), 0.7);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(data.num_nodes()),
+            0.7);
 }
 
 TEST(DegreeTestTest, TypicalAdditionAccepted) {

@@ -74,7 +74,9 @@ TEST(GeAttackTest, HighTargetedSuccessRate) {
                       t.target_label))
       ++success;
   }
-  EXPECT_GE(static_cast<double>(success) / f->targets.size(), 0.8);
+  EXPECT_GE(static_cast<double>(success) /
+                static_cast<double>(f->targets.size()),
+            0.8);
 }
 
 TEST(GeAttackTest, LessDetectableThanFgaT) {
@@ -115,7 +117,9 @@ TEST(GeAttackTest, LambdaZeroMatchesPureGraphAttackSelection) {
                       t.target_label))
       ++success;
   }
-  EXPECT_GE(static_cast<double>(success) / f->targets.size(), 0.8);
+  EXPECT_GE(static_cast<double>(success) /
+                static_cast<double>(f->targets.size()),
+            0.8);
 }
 
 TEST(GeAttackTest, LargeLambdaReducesDetectionFurther) {
@@ -222,7 +226,7 @@ TEST(SelectTargetNodesTest, OnlyCorrectlyClassified) {
                                  &rng);
   EXPECT_LE(nodes.size(), 15u);
   for (int64_t node : nodes)
-    EXPECT_EQ(f->clean_logits.ArgMaxRow(node), f->data.labels[node]);
+    EXPECT_EQ(f->clean_logits.ArgMaxRow(node), f->data.labels[ZU(node)]);
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ TEST(GeneratorsTest, LabelsBalanced) {
   for (int64_t y : data.labels) {
     ASSERT_GE(y, 0);
     ASSERT_LT(y, 4);
-    ++counts[y];
+    ++counts[ZU(y)];
   }
   for (int64_t c : counts) EXPECT_EQ(c, 50);
 }
@@ -52,9 +52,9 @@ TEST(GeneratorsTest, HomophilyApproximatelyMet) {
   int64_t same = 0, total = 0;
   for (const Edge& e : data.graph.Edges()) {
     ++total;
-    if (data.labels[e.u] == data.labels[e.v]) ++same;
+    if (data.labels[ZU(e.u)] == data.labels[ZU(e.v)]) ++same;
   }
-  const double ratio = static_cast<double>(same) / total;
+  const double ratio = static_cast<double>(same) / static_cast<double>(total);
   EXPECT_GT(ratio, 0.7);
   EXPECT_LT(ratio, 0.9);
 }
@@ -73,7 +73,7 @@ TEST(GeneratorsTest, FeaturesClassInformative) {
   for (int64_t i = 0; i < data.num_nodes(); ++i) {
     for (int64_t k = 0; k < cfg.num_classes; ++k) {
       for (int64_t j = k * words; j < (k + 1) * words; ++j) {
-        if (k == data.labels[i]) {
+        if (k == data.labels[ZU(i)]) {
           own += data.features.at(i, j);
           ++own_n;
         } else {
@@ -83,7 +83,8 @@ TEST(GeneratorsTest, FeaturesClassInformative) {
       }
     }
   }
-  EXPECT_GT(own / own_n, 5.0 * other / other_n);
+  EXPECT_GT(own / static_cast<double>(own_n),
+            5.0 * other / static_cast<double>(other_n));
 }
 
 TEST(GeneratorsTest, NoIsolatedNodes) {
@@ -131,8 +132,9 @@ TEST(SplitTest, FractionsAndDisjointness) {
   EXPECT_EQ(static_cast<int64_t>(split.train.size() + split.val.size() +
                                  split.test.size()),
             n);
-  EXPECT_NEAR(static_cast<double>(split.train.size()) / n, 0.1, 0.03);
-  EXPECT_NEAR(static_cast<double>(split.val.size()) / n, 0.1, 0.03);
+  const double dn = static_cast<double>(n);
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / dn, 0.1, 0.03);
+  EXPECT_NEAR(static_cast<double>(split.val.size()) / dn, 0.1, 0.03);
   std::set<int64_t> seen;
   for (auto* part : {&split.train, &split.val, &split.test})
     for (int64_t i : *part) EXPECT_TRUE(seen.insert(i).second);
@@ -143,7 +145,7 @@ TEST(SplitTest, EveryClassInTrain) {
   GraphData data = GenerateCitationGraph(SmallConfig(), &rng);
   Split split = MakeSplit(data, 0.1, 0.1, &rng);
   std::set<int64_t> classes;
-  for (int64_t i : split.train) classes.insert(data.labels[i]);
+  for (int64_t i : split.train) classes.insert(data.labels[ZU(i)]);
   EXPECT_EQ(static_cast<int64_t>(classes.size()), data.num_classes);
 }
 

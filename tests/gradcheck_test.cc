@@ -277,8 +277,8 @@ INSTANTIATE_TEST_SUITE_P(
         GradCase{"two_layer_gcn", TwoLayerGcnLoss, 4, 4, 0.1, 0.9, false},
         GradCase{"unrolled_inner_loop", UnrolledInnerLoop, 3, 3, 0.1, 0.9,
                  false}),
-    [](const ::testing::TestParamInfo<GradCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<GradCase>& param_info) {
+      return param_info.param.name;
     });
 
 // The hypergradient that GEAttack actually needs: d/dA of a readout of a

@@ -1,0 +1,12 @@
+// Fixture: raw engine outside src/tensor/random.h must be flagged.
+#include <random>
+
+namespace geattack {
+
+double NoisyScore(double base) {
+  std::mt19937_64 gen(42);  // bypasses the seeded Rng / TargetSeed streams
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return base + dist(gen);
+}
+
+}  // namespace geattack

@@ -1,0 +1,11 @@
+// Fixture: std::random_device seeds are nondeterministic by construction.
+#include <random>
+
+namespace geattack {
+
+uint64_t FreshSeed() {
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) | rd();
+}
+
+}  // namespace geattack

@@ -1,0 +1,10 @@
+// Fixture: C-library rand shares hidden global state across threads.
+#include <cstdlib>
+
+namespace geattack {
+
+int PickSlot(int n) {
+  return std::rand() % n;
+}
+
+}  // namespace geattack

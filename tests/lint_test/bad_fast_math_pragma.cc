@@ -1,0 +1,11 @@
+// Fixture: per-function fast-math licenses FP reassociation.
+namespace geattack {
+
+#pragma GCC optimize("fast-math")
+double Dot(const double* a, const double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace geattack

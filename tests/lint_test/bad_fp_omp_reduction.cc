@@ -1,0 +1,14 @@
+// Fixture: OpenMP FP reductions accumulate in thread-arrival order.
+#include <vector>
+
+namespace geattack {
+
+double SumAll(const std::vector<double>& v) {
+  double sum = 0.0;
+  const long n = static_cast<long>(v.size());
+#pragma omp parallel for reduction(+ : sum)
+  for (long i = 0; i < n; ++i) sum += v[static_cast<size_t>(i)];
+  return sum;
+}
+
+}  // namespace geattack

@@ -1,0 +1,23 @@
+// Fixture: lazily-filled shared cache with no call_once guard.  Two attack
+// workers hitting Get() concurrently race on cache_/cached_.
+#include <cstdint>
+#include <vector>
+
+namespace geattack {
+
+class DegreeCache {
+ public:
+  const std::vector<int64_t>& Get() const {
+    if (!cached_) {
+      cache_.assign(128, 0);
+      cached_ = true;
+    }
+    return cache_;
+  }
+
+ private:
+  mutable std::vector<int64_t> cache_;
+  mutable bool cached_ = false;
+};
+
+}  // namespace geattack

@@ -1,0 +1,21 @@
+// Fixture: hash-order iteration producing a result (first-wins argmax).
+#include <cstdint>
+#include <unordered_map>
+
+namespace geattack {
+
+int64_t BusiestNode(const std::unordered_map<int64_t, int64_t>& degree_in) {
+  std::unordered_map<int64_t, int64_t> degree = degree_in;
+  int64_t best = -1;
+  int64_t best_deg = -1;
+  // First-wins tie-break: the answer depends on bucket order.
+  for (const auto& [node, deg] : degree) {
+    if (deg > best_deg) {
+      best = node;
+      best_deg = deg;
+    }
+  }
+  return best;
+}
+
+}  // namespace geattack

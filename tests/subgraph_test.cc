@@ -115,7 +115,8 @@ TEST(SubgraphViewTest, KHopBallAndOutDegrees) {
     int64_t internal = 0;
     for (const IndexPair& e : view.edges_local)
       if (e.u == l || e.v == l) ++internal;
-    EXPECT_EQ(view.out_degree.at(l, 0) + internal, g.Degree(global));
+    EXPECT_EQ(view.out_degree.at(l, 0) + static_cast<double>(internal),
+              g.Degree(global));
   }
 }
 

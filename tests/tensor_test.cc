@@ -230,7 +230,7 @@ TEST(RngTest, WeightedSamplerMatchesLinearScanDistribution) {
   WeightedSampler sampler(w);
   Rng rng(11);
   std::vector<int64_t> counts(w.size(), 0);
-  for (int i = 0; i < 4000; ++i) ++counts[sampler.Sample(&rng)];
+  for (int i = 0; i < 4000; ++i) ++counts[ZU(sampler.Sample(&rng))];
   EXPECT_EQ(counts[0], 0);
   EXPECT_EQ(counts[2], 0);
   EXPECT_NEAR(static_cast<double>(counts[1]) / 4000.0, 0.75, 0.03);
@@ -361,18 +361,17 @@ TEST(CsrTest, GcnNormSpmmRawMatchesUnfusedComputation) {
   std::vector<double> dinv(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     double d = 0.0;
-    for (int64_t e = m.pattern()->row_ptr[i]; e < m.pattern()->row_ptr[i + 1];
-         ++e)
-      d += m.values()[static_cast<size_t>(e)];
+    for (int64_t e = m.pattern()->row_ptr[ZU(i)];
+         e < m.pattern()->row_ptr[ZU(i + 1)]; ++e)
+      d += m.values()[ZU(e)];
     d += out_deg.at(i, 0);
-    dinv[static_cast<size_t>(i)] = std::pow(d, -0.5);
+    dinv[ZU(i)] = std::pow(d, -0.5);
   }
   for (int64_t i = 0; i < n; ++i)
-    for (int64_t e = m.pattern()->row_ptr[i]; e < m.pattern()->row_ptr[i + 1];
-         ++e)
-      norm[static_cast<size_t>(e)] =
-          (m.values()[static_cast<size_t>(e)] * dinv[static_cast<size_t>(i)]) *
-          dinv[static_cast<size_t>(m.pattern()->col_idx[e])];
+    for (int64_t e = m.pattern()->row_ptr[ZU(i)];
+         e < m.pattern()->row_ptr[ZU(i + 1)]; ++e)
+      norm[ZU(e)] = (m.values()[ZU(e)] * dinv[ZU(i)]) *
+                    dinv[ZU(m.pattern()->col_idx[ZU(e)])];
 
   const Tensor fused =
       GcnNormSpmmRaw(*m.pattern(), m.values(), out_deg.data().data(), b);
