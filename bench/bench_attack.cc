@@ -12,6 +12,13 @@
 //   ./bench_attack --quick         CI-sized sizes (n ∈ {300, 800}), small
 //                                  budgets; same JSON schema.
 //
+// Both modes end with a "scaling" section that runs the full §5.1 loop —
+// attack → explain → defend — sparse end-to-end at 100k nodes (plus a 1M row
+// in full mode, with save/load timing) under a DenseAllocGuard: any n×n
+// tensor allocation sneaking back into the protocol aborts the bench, so
+// the CI quick gate hard-fails dense regressions.  Rows record per-phase
+// latency and process peak RSS.
+//
 // Each size also measures multi-target throughput (targets/sec) through the
 // thread-pool driver: the serial (1-thread) driver vs GEATTACK_BENCH_ATTACK_
 // THREADS workers (default 4) vs the batched task type
@@ -29,6 +36,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -39,8 +47,11 @@
 #include "src/attack/driver.h"
 #include "src/attack/fga.h"
 #include "src/core/geattack.h"
+#include "src/defense/inspector_defense.h"
 #include "src/eval/pipeline.h"
+#include "src/explain/gnn_explainer.h"
 #include "src/graph/generators.h"
+#include "src/graph/io.h"
 #include "src/nn/trainer.h"
 
 namespace geattack {
@@ -200,6 +211,159 @@ void WriteRows(std::ostream& os, const std::vector<Row>& rows,
                         : r.dense_ms / r.sparse_ms);
     os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+}
+
+/// Process peak resident set (VmHWM) in MiB; -1 if /proc is unavailable.
+double PeakRssMb() {
+  std::ifstream st("/proc/self/status");
+  std::string line;
+  while (std::getline(st, line))
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::atof(line.c_str() + 6) / 1024.0;
+  return -1.0;
+}
+
+// ---------------------------------------------------------------------------
+// Scaling section: the full §5.1 protocol — attack → explain → defend — at
+// 100k (quick + full) and 1M (full) nodes, sparse end-to-end.  The protocol
+// steps run under a DenseAllocGuard armed at 64·n elements: anything
+// n-proportional (X·W₁ folds, logit columns) passes with a wide margin,
+// while a single n×n tensor sneaking back into the loop aborts the bench —
+// the CI quick gate hard-fails on dense regressions.
+
+struct ScalingRow {
+  int64_t n = 0;
+  int64_t edges = 0;
+  double generate_ms = 0.0;
+  double train_ms = 0.0;
+  double save_ms = -1.0;  // < 0: skipped.
+  double load_ms = -1.0;
+  double attack_ms = 0.0;
+  double explain_ms = 0.0;
+  double defend_ms = 0.0;  // Iterative inspector incl. RankIndex lookups.
+  int64_t pruned_edges = 0;
+  int64_t true_adversarial_pruned = 0;
+  /// Largest single dense allocation (elements) observed while the guard
+  /// was armed around the protocol steps.
+  int64_t guard_largest_alloc = 0;
+  double peak_rss_mb = -1.0;
+  bool ok = false;
+};
+
+ScalingRow RunScalingRow(int64_t n, bool quick, bool io_round_trip) {
+  ScalingRow row;
+  Rng rng(77000 + static_cast<uint64_t>(n));
+  CitationGraphConfig cfg;
+  cfg.num_nodes = n;
+  cfg.num_edges = 3 * n;
+  cfg.num_classes = 5;
+  cfg.feature_dim = 32;  // Bag-of-words stays sparse at bench scale.
+
+  double t0 = NowMs();
+  GraphData data =
+      KeepLargestConnectedComponent(GenerateCitationGraph(cfg, &rng));
+  row.generate_ms = NowMs() - t0;
+  row.n = data.num_nodes();
+  row.edges = data.graph.num_edges();
+  std::cerr << "[bench_attack] scaling n=" << row.n << " (" << row.edges
+            << " edges): generated in " << row.generate_ms << " ms\n";
+
+  Split split = MakeSplit(data, 0.1, 0.1, &rng);
+  TrainConfig tc;
+  tc.epochs = quick ? 2 : 3;
+  tc.patience = 0;
+  t0 = NowMs();
+  Gcn model = TrainNewGcn(data, split, tc, &rng);
+  row.train_ms = NowMs() - t0;
+
+  if (io_round_trip) {
+    const char* tmp = std::getenv("TMPDIR");
+    const std::string path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                             "/geattack_scaling_" + std::to_string(n) +
+                             ".txt";
+    t0 = NowMs();
+    const bool saved = SaveGraphDataToFile(data, path);
+    row.save_ms = NowMs() - t0;
+    GraphData loaded;
+    t0 = NowMs();
+    const bool load_ok = saved && LoadGraphDataFromFile(path, &loaded);
+    row.load_ms = NowMs() - t0;
+    std::remove(path.c_str());
+    if (!load_ok || loaded.graph.num_edges() != data.graph.num_edges() ||
+        loaded.features.MaxAbsDiff(data.features) != 0.0) {
+      std::cerr << "[bench_attack] scaling n=" << row.n
+                << ": IO round-trip FAILED\n";
+      return row;
+    }
+    std::cerr << "[bench_attack] scaling save " << row.save_ms << " ms, load "
+              << row.load_ms << " ms\n";
+  }
+
+  AttackContext ctx = MakeSparseAttackContext(data, model);
+  const Tensor logits = model.LogitsFromGraph(data.graph, data.features);
+  PreparedTarget target;
+  for (int64_t node : split.test) {
+    if (data.graph.Degree(node) < 2) continue;
+    if (logits.ArgMaxRow(node) != data.labels[ZU(node)]) continue;
+    auto prepared = PrepareTargets(ctx, {node}, &rng, /*sparse=*/true);
+    if (prepared.empty()) continue;
+    prepared[0].budget = std::min<int64_t>(prepared[0].budget, 2);
+    target = prepared[0];
+    break;
+  }
+  if (target.node < 0) {
+    std::cerr << "[bench_attack] scaling n=" << row.n
+              << ": no flippable target\n";
+    return row;
+  }
+
+  GnnExplainerConfig ecfg;
+  ecfg.epochs = quick ? 30 : 100;
+  const GnnExplainer explainer(&model, &data.features, ecfg);
+  const ProtocolContext pctx = MakeProtocolContext(ctx, explainer);
+  Graph work = data.graph;
+  {
+    // The whole per-target protocol runs inside the tripwire.
+    DenseAllocGuard guard(64 * row.n);
+
+    GeAttackConfig ge;
+    ge.inner_steps = 2;
+    ge.use_sparse = true;
+    AttackRequest req{target.node, target.target_label, target.budget};
+    Rng attack_rng(4242);
+    t0 = NowMs();
+    const AttackResult result = GeAttack(ge).Attack(ctx, req, &attack_rng);
+    row.attack_ms = NowMs() - t0;
+
+    for (const Edge& e : result.added_edges) work.AddEdge(e.u, e.v);
+    t0 = NowMs();
+    const int64_t predicted = PredictAtNode(pctx, work, target.node);
+    const Explanation explanation =
+        explainer.Explain(work, target.node, predicted);
+    row.explain_ms = NowMs() - t0;
+    (void)explanation;
+
+    InspectorDefenseConfig dcfg;
+    dcfg.prune_top = 2;
+    dcfg.iterative = true;
+    t0 = NowMs();
+    const DefenseOutcome defense = InspectAndPruneInPlace(
+        pctx, &work, target.node, dcfg, &result.added_edges);
+    row.defend_ms = NowMs() - t0;
+    row.pruned_edges = static_cast<int64_t>(defense.pruned_edges.size());
+    row.true_adversarial_pruned = defense.true_adversarial_pruned;
+    row.guard_largest_alloc = DenseAllocGuard::largest_observed();
+  }
+  row.peak_rss_mb = PeakRssMb();
+  row.ok = true;
+  std::cerr << "[bench_attack] scaling protocol: attack " << row.attack_ms
+            << " ms, explain " << row.explain_ms << " ms, defend "
+            << row.defend_ms << " ms (pruned " << row.pruned_edges << ", "
+            << row.true_adversarial_pruned
+            << " adversarial), largest dense alloc "
+            << row.guard_largest_alloc << " elements, peak RSS "
+            << row.peak_rss_mb << " MB\n";
+  return row;
 }
 
 int RunHarness(const std::string& json_path, bool quick) {
@@ -398,6 +562,18 @@ int RunHarness(const std::string& json_path, bool quick) {
     }
   }
 
+  // ----- Scaling: the sparse protocol at 100k (quick + full) and 1M
+  // (full only), dense-alloc-guarded. -----
+  std::vector<ScalingRow> scaling;
+  {
+    std::vector<int64_t> scaling_sizes{100000};
+    if (!quick) scaling_sizes.push_back(1000000);
+    for (int64_t sn : scaling_sizes) {
+      scaling.push_back(RunScalingRow(sn, quick, /*io_round_trip=*/true));
+      gate_ok = gate_ok && scaling.back().ok;
+    }
+  }
+
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "cannot open " << json_path << " for writing\n";
@@ -466,6 +642,25 @@ int RunHarness(const std::string& json_path, bool quick) {
         << "\",\"identical_edges\":" << (e.identical_edges ? "true" : "false")
         << ",\"loss_delta\":" << e.loss_delta << "}"
         << (i + 1 < equivalence.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"scaling\": [\n";
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingRow& r = scaling[i];
+    out << "    {\"n\":" << r.n << ",\"edges\":" << r.edges
+        << ",\"generate_ms\":" << r.generate_ms
+        << ",\"train_ms\":" << r.train_ms << ",";
+    WriteNullableMs(out, "save_ms", r.save_ms);
+    out << ",";
+    WriteNullableMs(out, "load_ms", r.load_ms);
+    out << ",\"attack_ms\":" << r.attack_ms
+        << ",\"explain_ms\":" << r.explain_ms
+        << ",\"defend_ms\":" << r.defend_ms
+        << ",\"pruned_edges\":" << r.pruned_edges
+        << ",\"true_adversarial_pruned\":" << r.true_adversarial_pruned
+        << ",\"guard_largest_alloc\":" << r.guard_largest_alloc
+        << ",\"peak_rss_mb\":" << r.peak_rss_mb
+        << ",\"ok\":" << (r.ok ? "true" : "false") << "}"
+        << (i + 1 < scaling.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"equivalence_gate\": " << (gate_ok ? "\"pass\"" : "\"fail\"")
       << "\n}\n";

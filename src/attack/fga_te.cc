@@ -9,16 +9,14 @@ std::vector<int64_t> FgaTeAttack::ExcludedNodes(
     const AttackRequest& request) const {
   // Explain the model's current prediction at the target on the current
   // (possibly already perturbed) graph, and avoid the subgraph's nodes.
+  // Graph-native throughout; the context's shared X·W₁ fold is reused so
+  // each evasion round costs O(|E_sub|·h).
   const Tensor logits =
       ctx.model->LogitsFromGraph(current, ctx.data->features);
   const int64_t predicted = logits.ArgMaxRow(request.target_node);
   GnnExplainer explainer(ctx.model, &ctx.data->features, explainer_config_);
-  const Explanation explanation =
-      explainer_config_.sparse
-          ? explainer.ExplainGraph(current, request.target_node, predicted,
-                                   &CachedXw1(ctx))
-          : explainer.Explain(current.DenseAdjacency(), request.target_node,
-                              predicted);
+  const Explanation explanation = explainer.ExplainGraph(
+      current, request.target_node, predicted, &CachedXw1(ctx));
   std::set<int64_t> nodes;
   for (const Edge& e : explanation.TopEdges(subgraph_size_)) {
     nodes.insert(e.u);

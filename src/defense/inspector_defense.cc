@@ -1,71 +1,73 @@
 #include "src/defense/inspector_defense.h"
 
+#include <algorithm>
 #include <set>
 
 namespace geattack {
 
 namespace {
 
-/// Removes the highest-ranked explanation edge incident to `node`.
-/// Returns false if none found.
-bool PruneTopIncident(const Explanation& explanation, int64_t node,
-                      int64_t subgraph_size, Tensor* adjacency,
-                      std::vector<Edge>* pruned) {
-  for (const Edge& e : explanation.TopEdges(subgraph_size)) {
-    if (e.u != node && e.v != node) continue;
-    if (adjacency->at(e.u, e.v) == 0.0) continue;
-    adjacency->at(e.u, e.v) = 0.0;
-    adjacency->at(e.v, e.u) = 0.0;
-    pruned->push_back(e);
-    return true;
+/// The highest-ranked explanation edge incident to `node` that is still
+/// present in `graph` and inside the inspected top-`subgraph_size` window.
+/// Instead of scanning the ranking, this walks the node's incident edges
+/// (there are only deg(node) of them) against a RankIndex — O(deg · log
+/// |ranked|) per round.  Returns false if no incident edge is ranked.
+bool TopIncidentEdge(const Explanation& explanation, const Graph& graph,
+                     int64_t node, int64_t subgraph_size, Edge* best) {
+  const RankIndex index(explanation);
+  int64_t best_rank = subgraph_size;  // Exclusive upper bound.
+  bool found = false;
+  for (int64_t neighbor : graph.Neighbors(node)) {
+    const Edge e(node, neighbor);
+    const int64_t rank = index.RankOf(e);
+    if (rank < 0 || rank >= best_rank) continue;
+    best_rank = rank;
+    *best = e;
+    found = true;
   }
-  return false;
+  return found;
 }
 
 }  // namespace
 
-DefenseOutcome InspectAndPrune(const Gcn& model, const Tensor& features,
-                               const Explainer& explainer,
-                               const Tensor& adjacency, int64_t node,
-                               const InspectorDefenseConfig& config,
-                               const std::vector<Edge>* known_adversarial) {
+DefenseOutcome InspectAndPruneInPlace(const ProtocolContext& ctx,
+                                      Graph* graph, int64_t node,
+                                      const InspectorDefenseConfig& config,
+                                      const std::vector<Edge>*
+                                          known_adversarial) {
+  GEA_CHECK(graph != nullptr);
   DefenseOutcome outcome;
-  const Tensor logits_before = model.LogitsFromRaw(adjacency, features);
-  outcome.prediction_before = logits_before.ArgMaxRow(node);
-  outcome.pruned_adjacency = adjacency;
+  outcome.prediction_before = PredictAtNode(ctx, *graph, node);
   outcome.prediction_after = outcome.prediction_before;
 
   if (config.iterative) {
     // Analyst loop: prune one suspect, re-inspect, stop when the prediction
     // flips (the anomaly is "resolved") or the budget runs out.
     for (int64_t round = 0; round < config.prune_top; ++round) {
-      const Explanation explanation = explainer.Explain(
-          outcome.pruned_adjacency, node, outcome.prediction_after);
-      if (!PruneTopIncident(explanation, node, config.subgraph_size,
-                            &outcome.pruned_adjacency,
-                            &outcome.pruned_edges)) {
+      const Explanation explanation = ctx.explainer().Explain(
+          *graph, node, outcome.prediction_after);
+      Edge suspect;
+      if (!TopIncidentEdge(explanation, *graph, node, config.subgraph_size,
+                           &suspect)) {
         break;
       }
-      const Tensor logits =
-          model.LogitsFromRaw(outcome.pruned_adjacency, features);
-      outcome.prediction_after = logits.ArgMaxRow(node);
+      graph->RemoveEdge(suspect.u, suspect.v);
+      outcome.pruned_edges.push_back(suspect);
+      outcome.prediction_after = PredictAtNode(ctx, *graph, node);
       if (outcome.prediction_after != outcome.prediction_before) break;
     }
   } else {
     const Explanation explanation =
-        explainer.Explain(adjacency, node, outcome.prediction_before);
+        ctx.explainer().Explain(*graph, node, outcome.prediction_before);
     int64_t pruned = 0;
     for (const Edge& e : explanation.TopEdges(config.subgraph_size)) {
       if (pruned >= config.prune_top) break;
       if (e.u != node && e.v != node) continue;
-      outcome.pruned_adjacency.at(e.u, e.v) = 0.0;
-      outcome.pruned_adjacency.at(e.v, e.u) = 0.0;
+      if (!graph->RemoveEdge(e.u, e.v)) continue;
       outcome.pruned_edges.push_back(e);
       ++pruned;
     }
-    const Tensor logits =
-        model.LogitsFromRaw(outcome.pruned_adjacency, features);
-    outcome.prediction_after = logits.ArgMaxRow(node);
+    outcome.prediction_after = PredictAtNode(ctx, *graph, node);
   }
 
   if (known_adversarial != nullptr) {
@@ -73,6 +75,33 @@ DefenseOutcome InspectAndPrune(const Gcn& model, const Tensor& features,
                              known_adversarial->end());
     for (const Edge& e : outcome.pruned_edges)
       if (adv.count(e)) ++outcome.true_adversarial_pruned;
+  }
+  return outcome;
+}
+
+DefenseOutcome InspectAndPrune(const ProtocolContext& ctx, const Graph& graph,
+                               int64_t node,
+                               const InspectorDefenseConfig& config,
+                               const std::vector<Edge>* known_adversarial) {
+  Graph working = graph;
+  return InspectAndPruneInPlace(ctx, &working, node, config,
+                                known_adversarial);
+}
+
+DefenseOutcome InspectAndPrune(const Gcn& model, const Tensor& features,
+                               const Explainer& explainer,
+                               const Tensor& adjacency, int64_t node,
+                               const InspectorDefenseConfig& config,
+                               const std::vector<Edge>* known_adversarial) {
+  const ProtocolContext ctx(&model, &features, &explainer);
+  Graph working = Graph::FromDense(adjacency);
+  DefenseOutcome outcome = InspectAndPruneInPlace(ctx, &working, node, config,
+                                                  known_adversarial);
+  // Dense materialization for dense-context callers only.
+  outcome.pruned_adjacency = adjacency;
+  for (const Edge& e : outcome.pruned_edges) {
+    outcome.pruned_adjacency.at(e.u, e.v) = 0.0;
+    outcome.pruned_adjacency.at(e.v, e.u) = 0.0;
   }
   return outcome;
 }

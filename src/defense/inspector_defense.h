@@ -12,6 +12,14 @@
 // Against attacks whose edges the explainer surfaces (FGA-T, Nettack), the
 // defense restores the original label; against GEAttack it degrades —
 // quantifying exactly the safety gap the paper warns about.
+//
+// The loop is graph-native: it runs on Graph/CSR state, edge-list deltas
+// (`DefenseOutcome::pruned_edges`) are the source of truth, and re-predicts
+// use the GCN-depth ball-local sparse forward (PredictAtNode) — so one
+// inspect-and-prune pass costs O(rounds · (explain + |E_ball|·h)) and runs
+// unchanged on million-node graphs.  The dense overload is a reference
+// adapter that converts, delegates, and additionally materializes
+// `pruned_adjacency` for dense-context callers.
 
 #ifndef GEATTACK_SRC_DEFENSE_INSPECTOR_DEFENSE_H_
 #define GEATTACK_SRC_DEFENSE_INSPECTOR_DEFENSE_H_
@@ -19,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/eval/protocol.h"
 #include "src/explain/explanation.h"
 #include "src/nn/gcn.h"
 
@@ -38,19 +47,43 @@ struct InspectorDefenseConfig {
   bool iterative = true;
 };
 
-/// Outcome of one inspect-and-prune pass.
+/// Outcome of one inspect-and-prune pass.  The edge-list delta
+/// `pruned_edges` is the source of truth; `pruned_adjacency` is an optional
+/// dense materialization that only the dense reference adapter fills (it
+/// stays empty on the graph-native path — nothing n×n is ever built there).
 struct DefenseOutcome {
-  Tensor pruned_adjacency;           ///< Graph after removing suspects.
   std::vector<Edge> pruned_edges;    ///< What the inspector removed.
   int64_t prediction_before = -1;    ///< Model prediction pre-defense.
   int64_t prediction_after = -1;     ///< Model prediction post-defense.
   int64_t true_adversarial_pruned = 0;  ///< How many pruned edges were real
                                         ///< adversarial edges (if known).
+  Tensor pruned_adjacency;  ///< Dense graph after removal — filled ONLY by
+                            ///< the dense adapter; empty otherwise.
 };
 
-/// Runs the inspect-and-prune loop on `adjacency` at `node` with the given
-/// explainer.  `known_adversarial` (optional, evaluation only) lets the
-/// caller score how many pruned edges were truly adversarial.
+/// Graph-native primary: runs the inspect-and-prune loop at `node` on a
+/// working copy of `graph` with the context's explainer.
+/// `known_adversarial` (optional, evaluation only) lets the caller score
+/// how many pruned edges were truly adversarial.
+DefenseOutcome InspectAndPrune(const ProtocolContext& ctx, const Graph& graph,
+                               int64_t node,
+                               const InspectorDefenseConfig& config,
+                               const std::vector<Edge>* known_adversarial =
+                                   nullptr);
+
+/// In-place variant for callers that maintain their own working graph
+/// (e.g. the eval pipeline's mutate-and-restore loop): prunes `graph`
+/// directly and leaves it pruned.  Restoring is the caller's job — re-add
+/// the returned `pruned_edges`.
+DefenseOutcome InspectAndPruneInPlace(const ProtocolContext& ctx,
+                                      Graph* graph, int64_t node,
+                                      const InspectorDefenseConfig& config,
+                                      const std::vector<Edge>*
+                                          known_adversarial = nullptr);
+
+/// Dense reference adapter: converts `adjacency`, delegates to the
+/// graph-native path above (one implementation, two surfaces), and fills
+/// `DefenseOutcome::pruned_adjacency`.
 DefenseOutcome InspectAndPrune(const Gcn& model, const Tensor& features,
                                const Explainer& explainer,
                                const Tensor& adjacency, int64_t node,

@@ -89,8 +89,16 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
   JointAttackOutcome outcome;
   if (targets.empty()) return outcome;
   RunningStats asr, asr_t, precision, recall, f1, ndcg;
+  RunningStats recovery, pruned_count, true_pruned;
 
-  // Scores one target's attack outcome (logits, detection) into the stats.
+  const ProtocolContext pctx = MakeProtocolContext(ctx, explainer);
+  // One working graph, patched and restored per target: the inspect/defend
+  // phase never touches `result.adjacency`, so a sparse context (edge-list
+  // results only) runs the full protocol with nothing n x n in sight.
+  Graph work = ctx.data->graph;
+
+  // Scores one target's attack outcome (logits, detection, defense) into
+  // the stats.
   auto inspect = [&](const PreparedTarget& t, const AttackResult& result) {
     const Tensor logits = PerturbedLogits(ctx, result, eval_config.sparse,
                                           eval_config.f32_values);
@@ -98,10 +106,11 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
     asr.Add(predicted != t.true_label ? 1.0 : 0.0);
     asr_t.Add(predicted == t.target_label ? 1.0 : 0.0);
 
+    for (const Edge& e : result.added_edges) work.AddEdge(e.u, e.v);
+
     // Inspect: explain the model's (post-attack) prediction at the target
     // and score how visible the adversarial edges are.
-    const Explanation explanation =
-        explainer.Explain(result.adjacency, t.node, predicted);
+    const Explanation explanation = explainer.Explain(work, t.node, predicted);
     const DetectionMetrics d =
         ComputeDetection(explanation, result.added_edges,
                          eval_config.subgraph_size, eval_config.k);
@@ -109,6 +118,18 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
     recall.Add(d.recall);
     f1.Add(d.f1);
     ndcg.Add(d.ndcg);
+
+    if (eval_config.defend) {
+      const DefenseOutcome defense = InspectAndPruneInPlace(
+          pctx, &work, t.node, eval_config.defense, &result.added_edges);
+      recovery.Add(defense.prediction_after == t.true_label ? 1.0 : 0.0);
+      pruned_count.Add(static_cast<double>(defense.pruned_edges.size()));
+      true_pruned.Add(static_cast<double>(defense.true_adversarial_pruned));
+      // Undo the pruning before undoing the attack.
+      for (const Edge& e : defense.pruned_edges) work.AddEdge(e.u, e.v);
+    }
+
+    for (const Edge& e : result.added_edges) work.RemoveEdge(e.u, e.v);
   };
 
   if (eval_config.attack_threads >= 1) {
@@ -143,6 +164,11 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
   outcome.detection.f1 = f1.mean();
   outcome.detection.ndcg = ndcg.mean();
   outcome.num_targets = static_cast<int64_t>(targets.size());
+  if (eval_config.defend) {
+    outcome.defense_recovery = recovery.mean();
+    outcome.mean_pruned_edges = pruned_count.mean();
+    outcome.mean_true_adversarial_pruned = true_pruned.mean();
+  }
   return outcome;
 }
 

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "src/attack/attack.h"
+#include "src/defense/inspector_defense.h"
 #include "src/eval/metrics.h"
+#include "src/eval/protocol.h"
 #include "src/explain/explanation.h"
 #include "src/graph/graph.h"
 #include "src/nn/gcn.h"
@@ -74,6 +76,13 @@ struct JointAttackOutcome {
   double asr_t = 0.0;  ///< Fraction flipped to the specific target label.
   DetectionMetrics detection;  ///< Mean over successfully evaluated targets.
   int64_t num_targets = 0;
+  // ----- Defense aggregates, populated only when EvalConfig::defend. -----
+  /// Fraction of targets whose post-defense prediction returned to the true
+  /// label (the paper's recovery notion).
+  double defense_recovery = 0.0;
+  double mean_pruned_edges = 0.0;  ///< Mean edges removed per target.
+  /// Mean count of pruned edges that were truly adversarial per target.
+  double mean_true_adversarial_pruned = 0.0;
 };
 
 /// Evaluation knobs (paper §A.2: L = 20, K = 15).
@@ -99,11 +108,22 @@ struct EvalConfig {
   /// attackers that support it.  1 = per-target tasks.  Results are
   /// bit-identical for any value (see AttackDriverConfig::batch_targets).
   int batch_targets = 1;
+  /// Run the inspector defense (InspectAndPrune, graph-native) on every
+  /// attacked target after the explain step and aggregate recovery stats
+  /// into the outcome.  Off by default — the §5.1 tables do not defend.
+  bool defend = false;
+  /// Defense knobs used when `defend` is set.
+  InspectorDefenseConfig defense;
 };
 
 /// Runs `attack` on every prepared target and inspects each perturbed graph
 /// with `explainer`.  With `eval_config.attack_threads >= 1` the attack
 /// phase fans out over the thread-pool driver (see EvalConfig).
+///
+/// The inspect (and optional defend) phase is graph-native end-to-end: one
+/// working Graph is patched with each result's `added_edges`, explained /
+/// defended, and restored — so the whole protocol runs from a
+/// MakeSparseAttackContext without any n×n tensor.
 JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
                                   const TargetedAttack& attack,
                                   const std::vector<PreparedTarget>& targets,

@@ -1,0 +1,63 @@
+#include "src/eval/protocol.h"
+
+#include <mutex>
+
+#include "src/attack/attack.h"
+#include "src/graph/subgraph.h"
+#include "src/nn/sparse_forward.h"
+
+namespace geattack {
+
+struct ProtocolContext::State {
+  const Gcn* model = nullptr;
+  const Tensor* features = nullptr;
+  const Explainer* explainer = nullptr;
+  std::once_flag xw1_once;
+  Tensor xw1;
+};
+
+ProtocolContext::ProtocolContext(const Gcn* model, const Tensor* features,
+                                 const Explainer* explainer)
+    : state_(std::make_shared<State>()) {
+  GEA_CHECK(model != nullptr && features != nullptr && explainer != nullptr);
+  state_->model = model;
+  state_->features = features;
+  state_->explainer = explainer;
+}
+
+const Gcn& ProtocolContext::model() const { return *state_->model; }
+const Tensor& ProtocolContext::features() const { return *state_->features; }
+const Explainer& ProtocolContext::explainer() const {
+  return *state_->explainer;
+}
+
+const Tensor& ProtocolContext::xw1() const {
+  std::call_once(state_->xw1_once, [&] {
+    state_->xw1 = state_->features->MatMul(state_->model->w1());
+  });
+  return state_->xw1;
+}
+
+ProtocolContext MakeProtocolContext(const AttackContext& ctx,
+                                    const Explainer& explainer) {
+  ProtocolContext pctx(ctx.model, &ctx.data->features, &explainer);
+  // Seed the fold from the attack context's cache (shared, not recomputed).
+  std::call_once(pctx.state_->xw1_once,
+                 [&] { pctx.state_->xw1 = CachedXw1(ctx); });
+  return pctx;
+}
+
+int64_t PredictAtNode(const ProtocolContext& ctx, const Graph& graph,
+                      int64_t node) {
+  GEA_CHECK(node >= 0 && node < graph.num_nodes());
+  // 2 hops = the GCN depth: the ball forward is exact at the target row.
+  const SubgraphView view =
+      BuildSubgraphView(graph, node, /*hops=*/2, /*candidates=*/{});
+  const SparseAttackForward sf =
+      MakeSparseAttackForward(view, ctx.model(), ctx.xw1());
+  const Var logits =
+      SparseGcnLogitsVar(sf, Constant(view.base_values, "a"));
+  return logits.value().ArgMaxRow(view.target_local);
+}
+
+}  // namespace geattack

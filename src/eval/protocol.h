@@ -1,0 +1,67 @@
+// ProtocolContext — the shared state bundle of the §5.1 protocol steps.
+//
+// Every step of the attack-then-inspect-then-defend loop needs the same
+// things: the trained victim, its features, the inspecting explainer, and
+// the X·W₁ fold they all gather rows from.  Instead of re-plumbing
+// (model, features, explainer, adjacency, node, config) through every
+// explain/defend/eval call, callers build one ProtocolContext and pass it.
+// Copies are cheap (the state is shared), and the concrete state layout
+// lives in protocol.cc, out of the public header.
+
+#ifndef GEATTACK_SRC_EVAL_PROTOCOL_H_
+#define GEATTACK_SRC_EVAL_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/explain/explanation.h"
+#include "src/nn/gcn.h"
+
+namespace geattack {
+
+struct AttackContext;
+
+/// Fixed per-experiment protocol state: trained model + features +
+/// inspector explainer, plus lazily-built shared caches.  Graph state is
+/// deliberately NOT part of the context — protocol steps take the current
+/// (possibly perturbed or pruned) Graph explicitly, so one context serves
+/// every graph revision of the loop.
+class ProtocolContext {
+ public:
+  /// `model`, `features` and `explainer` must outlive the context.
+  ProtocolContext(const Gcn* model, const Tensor* features,
+                  const Explainer* explainer);
+
+  const Gcn& model() const;
+  const Tensor& features() const;
+  const Explainer& explainer() const;
+
+  /// The (n, h) X·W₁ fold, built on first use and shared by every copy of
+  /// this context (thread-safe).
+  const Tensor& xw1() const;
+
+ private:
+  friend ProtocolContext MakeProtocolContext(const AttackContext& ctx,
+                                             const Explainer& explainer);
+
+  struct State;  // Layout hidden in protocol.cc.
+  std::shared_ptr<State> state_;
+};
+
+/// ProtocolContext over an AttackContext's model/features, seeded with the
+/// attack context's already-cached X·W₁ fold so the protocol steps never
+/// re-fold.
+ProtocolContext MakeProtocolContext(const AttackContext& ctx,
+                                    const Explainer& explainer);
+
+/// Model prediction at `node` on `graph` via a GCN-depth ball-local sparse
+/// forward: O(|E_ball|·h) instead of a full-graph forward.  Exact w.r.t.
+/// the full forward up to floating-point roundoff (the 2-hop ball carries
+/// true-degree normalization for the 2-layer GCN).  The protocol's cheap
+/// re-predict after edge-list deltas.
+int64_t PredictAtNode(const ProtocolContext& ctx, const Graph& graph,
+                      int64_t node);
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_EVAL_PROTOCOL_H_

@@ -27,4 +27,31 @@ int64_t Explanation::RankOf(const Edge& edge) const {
   return -1;
 }
 
+RankIndex::RankIndex(const Explanation& explanation) {
+  by_edge_.reserve(explanation.ranked_edges.size());
+  for (size_t i = 0; i < explanation.ranked_edges.size(); ++i)
+    by_edge_.emplace_back(explanation.ranked_edges[i].edge,
+                          static_cast<int64_t>(i));
+  std::sort(by_edge_.begin(), by_edge_.end(),
+            [](const std::pair<Edge, int64_t>& a,
+               const std::pair<Edge, int64_t>& b) {
+              return a.first < b.first;
+            });
+}
+
+int64_t RankIndex::RankOf(const Edge& edge) const {
+  const auto it = std::lower_bound(
+      by_edge_.begin(), by_edge_.end(), edge,
+      [](const std::pair<Edge, int64_t>& a, const Edge& e) {
+        return a.first < e;
+      });
+  if (it == by_edge_.end() || !(it->first == edge)) return -1;
+  return it->second;
+}
+
+Explanation Explainer::Explain(const Tensor& adjacency, int64_t node,
+                               int64_t label) const {
+  return Explain(Graph::FromDense(adjacency), node, label);
+}
+
 }  // namespace geattack

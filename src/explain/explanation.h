@@ -3,11 +3,19 @@
 // An explanation for a node's prediction is a ranking of the edges of the
 // node's computation subgraph by importance weight; the top-L edges form the
 // explanation subgraph G_S shown to an inspector (paper §3).
+//
+// The explainer interface is graph-native: the primary entrypoint takes a
+// `Graph` and every explainer implements it over the sparse SubgraphView /
+// CSR machinery, so explaining scales with the size of the target's
+// computation subgraph, never with n².  A dense-adjacency overload remains
+// as a thin reference adapter for small-graph callers; it converts and
+// delegates, so there is one implementation behind two surfaces.
 
 #ifndef GEATTACK_SRC_EXPLAIN_EXPLANATION_H_
 #define GEATTACK_SRC_EXPLAIN_EXPLANATION_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -31,22 +39,52 @@ struct Explanation {
   /// The top-L explanation subgraph edges (fewer if the ranking is shorter).
   std::vector<Edge> TopEdges(int64_t limit) const;
 
-  /// 0-based rank of `edge` in the ranking, or -1 if absent.
+  /// 0-based rank of `edge` in the ranking, or -1 if absent.  Linear scan —
+  /// callers that query many edges against one explanation (the inspector
+  /// defense loop) should build a RankIndex instead.
   int64_t RankOf(const Edge& edge) const;
+};
+
+/// Edge → rank lookup over one explanation's ranking: O(|ranked| log
+/// |ranked|) to build, O(log |ranked|) per query — the index map the
+/// inspector's iterative prune loop uses instead of Explanation::RankOf's
+/// O(|ranked|) scan per edge.
+class RankIndex {
+ public:
+  explicit RankIndex(const Explanation& explanation);
+
+  /// 0-based rank of `edge`, or -1 if absent from the ranking.
+  int64_t RankOf(const Edge& edge) const;
+
+  int64_t size() const { return static_cast<int64_t>(by_edge_.size()); }
+
+ private:
+  std::vector<std::pair<Edge, int64_t>> by_edge_;  // Sorted by edge.
 };
 
 /// Sorts scored edges by weight descending with deterministic tie-breaks.
 void SortScoredEdges(std::vector<ScoredEdge>* edges);
 
 /// Common interface so attacks/evaluation can be explainer-agnostic.
+///
+/// The graph-native overload is the PRIMARY entrypoint and the only one
+/// implementations provide; it runs on sparse state end-to-end.  The dense
+/// overload is a non-virtual reference adapter that converts the adjacency
+/// once and delegates — kept so paper-sized examples and the bit-identity
+/// test suites can speak dense, but never a second implementation.
 class Explainer {
  public:
   virtual ~Explainer() = default;
 
-  /// Explains model prediction `label` for `node` on the graph given by the
-  /// dense `adjacency`.
-  virtual Explanation Explain(const Tensor& adjacency, int64_t node,
+  /// Explains model prediction `label` for `node` on `graph`.  Sparse,
+  /// primary: cost scales with the target's computation subgraph.
+  virtual Explanation Explain(const Graph& graph, int64_t node,
                               int64_t label) const = 0;
+
+  /// Dense reference adapter: `Graph::FromDense(adjacency)` + the
+  /// graph-native path above.  Bit-identical to it by construction.
+  Explanation Explain(const Tensor& adjacency, int64_t node,
+                      int64_t label) const;
 };
 
 }  // namespace geattack

@@ -1,7 +1,6 @@
 #include "src/explain/gnn_explainer.h"
 
 #include <cmath>
-#include <unordered_set>
 
 #include "src/graph/subgraph.h"
 #include "src/nn/adam.h"
@@ -13,6 +12,12 @@ GnnExplainer::GnnExplainer(const Gcn* model, const Tensor* features,
                            const GnnExplainerConfig& config)
     : model_(model), features_(features), config_(config) {
   GEA_CHECK(model != nullptr && features != nullptr);
+}
+
+const Tensor& GnnExplainer::CachedXw1() const {
+  std::call_once(xw1_once_,
+                 [&] { xw1_cache_ = features_->MatMul(model_->w1()); });
+  return xw1_cache_;
 }
 
 Var GnnExplainer::ExplainerLoss(const GcnForwardContext& ctx,
@@ -31,11 +36,7 @@ Explanation GnnExplainer::ExplainGraph(const Graph& graph, int64_t node,
   GEA_CHECK(node >= 0 && node < graph.num_nodes());
   const SubgraphView view =
       BuildSubgraphView(graph, node, config_.hops, /*candidates=*/{});
-  Tensor folded;
-  if (xw1_full == nullptr) {
-    folded = features_->MatMul(model_->w1());
-    xw1_full = &folded;
-  }
+  if (xw1_full == nullptr) xw1_full = &CachedXw1();
   const SparseAttackForward sf =
       MakeSparseAttackForward(view, *model_, *xw1_full);
   const int64_t num_edges = view.num_edges();
@@ -46,7 +47,7 @@ Explanation GnnExplainer::ExplainGraph(const Graph& graph, int64_t node,
   if (num_edges == 0) return explanation;
 
   // Per-query deterministic initialization, one logit per subgraph edge
-  // (the per-edge twin of the dense n x n draw).
+  // (the per-edge twin of the retired dense n x n draw).
   Rng rng(config_.seed * 1000003ull + static_cast<uint64_t>(node));
   Tensor mask_tensor = rng.NormalTensor(num_edges, 1, 0.0, config_.init_scale);
 
@@ -59,8 +60,8 @@ Explanation GnnExplainer::ExplainGraph(const Graph& graph, int64_t node,
     Var values = DirectedFromUndirected(sf, s);
     Var loss = NllRow(SparseGcnLogitsVar(sf, values), view.target_local,
                       label);
-    // Regularizers as in the dense path; the factor 2 matches its sum over
-    // both directed slots of each edge.
+    // Regularizers as in the reference implementation; the factor 2 matches
+    // its sum over both directed slots of each edge.
     if (config_.size_coeff > 0)
       loss = Add(loss, MulScalar(Sum(s), 2.0 * config_.size_coeff));
     if (config_.entropy_coeff > 0) {
@@ -85,71 +86,9 @@ Explanation GnnExplainer::ExplainGraph(const Graph& graph, int64_t node,
   return explanation;
 }
 
-Explanation GnnExplainer::Explain(const Tensor& adjacency, int64_t node,
+Explanation GnnExplainer::Explain(const Graph& graph, int64_t node,
                                   int64_t label) const {
-  if (config_.sparse)
-    return ExplainGraph(Graph::FromDense(adjacency), node, label);
-  const int64_t n = adjacency.rows();
-  GEA_CHECK(node >= 0 && node < n);
-  const GcnForwardContext ctx = MakeForwardContext(*model_, *features_);
-  const Var adj = Constant(adjacency, "A");
-
-  // Per-query deterministic initialization.
-  Rng rng(config_.seed * 1000003ull + static_cast<uint64_t>(node));
-  Tensor mask_tensor = rng.NormalTensor(n, n, 0.0, config_.init_scale);
-
-  Adam adam({.lr = config_.lr});
-  adam.Register(&mask_tensor);
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    Var mask = Var::Leaf(mask_tensor, /*requires_grad=*/true, "M");
-    Var loss = ExplainerLoss(ctx, adj, mask, node, label);
-    if (config_.size_coeff > 0 || config_.entropy_coeff > 0) {
-      Var sym = MulScalar(Add(mask, Transpose(mask)), 0.5);
-      Var s = Mul(adj, Sigmoid(sym));  // Mask restricted to real edges.
-      if (config_.size_coeff > 0) {
-        loss = Add(loss, MulScalar(Sum(s), config_.size_coeff));
-      }
-      if (config_.entropy_coeff > 0) {
-        // Elementwise entropy -s log s - (1-s) log(1-s), averaged over the
-        // edge slots; epsilon keeps log finite at the 0/1 ends.
-        Var sc = AddScalar(MulScalar(s, 0.998), 0.001);
-        Var one_minus = AddScalar(Neg(sc), 1.0);
-        Var ent = Neg(Add(Mul(sc, Log(sc)), Mul(one_minus, Log(one_minus))));
-        Var ent_on_edges = Mul(adj, ent);
-        loss = Add(loss, MulScalar(Sum(ent_on_edges),
-                                   config_.entropy_coeff /
-                                       static_cast<double>(n)));
-      }
-    }
-    Var grad = GradOne(loss, mask);
-    adam.Step({grad.value()});
-  }
-
-  // Rank the computation-subgraph edges by the learned (sigmoid) weight.
-  Tensor sym(n, n);
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < n; ++j)
-      sym.at(i, j) = 0.5 * (mask_tensor.at(i, j) + mask_tensor.at(j, i));
-  Tensor weights = sym.Sigmoid();
-
-  const Graph graph = Graph::FromDense(adjacency);
-  std::unordered_set<int64_t> in_subgraph;
-  if (config_.restrict_to_subgraph) {
-    const auto nodes = graph.KHopNeighborhood(node, config_.hops);
-    in_subgraph.insert(nodes.begin(), nodes.end());
-  }
-
-  Explanation explanation;
-  explanation.node = node;
-  explanation.label = label;
-  for (const Edge& e : graph.Edges()) {
-    if (config_.restrict_to_subgraph &&
-        (!in_subgraph.count(e.u) || !in_subgraph.count(e.v)))
-      continue;
-    explanation.ranked_edges.push_back({e, weights.at(e.u, e.v)});
-  }
-  SortScoredEdges(&explanation.ranked_edges);
-  return explanation;
+  return ExplainGraph(graph, node, label, /*xw1_full=*/nullptr);
 }
 
 }  // namespace geattack

@@ -4,11 +4,20 @@
 // minimize  -log f_θ(A ⊙ σ(M_A), X)[v, ŷ]  (+ size/entropy regularizers of
 // the reference implementation).  Edges are then ranked by the learned mask
 // weight; the top-L form the explanation subgraph an inspector examines.
+//
+// The implementation is graph-native (see Explainer in explanation.h): the
+// mask is one logit per edge of the target's k-hop SubgraphView and every
+// epoch costs O(|E_sub|·h) through the CSR forward — never O(n²·h).  The
+// ranking covers the computation-subgraph edges; edges outside the
+// receptive field have exactly zero influence on the explained prediction,
+// so the retired dense path's near-initialization weights on them were pure
+// noise.
 
 #ifndef GEATTACK_SRC_EXPLAIN_GNN_EXPLAINER_H_
 #define GEATTACK_SRC_EXPLAIN_GNN_EXPLAINER_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "src/explain/explanation.h"
 #include "src/nn/gcn.h"
@@ -27,20 +36,9 @@ struct GnnExplainerConfig {
   double entropy_coeff = 0.1;
   /// Receptive field: 2 hops for the 2-layer GCN.
   int hops = 2;
-  /// When true, only computation-subgraph edges are ranked.  The paper's
-  /// protocol ranks the whole masked adjacency ("top-L edges with the
-  /// largest values"), so the default keeps every graph edge in the
-  /// ranking — edges outside the receptive field keep near-initialization
-  /// weights and act as the noise floor an attacker can hide under.
-  bool restrict_to_subgraph = false;
   /// Mask initialization scale and seed.
   double init_scale = 0.1;
   uint64_t seed = 0;
-  /// When true, Explain() runs the edge-list path (ExplainGraph): the mask
-  /// lives on the k-hop subgraph's edges and every epoch costs
-  /// O(|E_sub|·h) instead of O(n²·h).  Implies subgraph-restricted
-  /// ranking.  Off by default so the dense inspector numerics stay put.
-  bool sparse = false;
 };
 
 /// Learns per-query adjacency masks for a fixed trained GCN.
@@ -50,17 +48,18 @@ class GnnExplainer : public Explainer {
   GnnExplainer(const Gcn* model, const Tensor* features,
                const GnnExplainerConfig& config);
 
-  /// Optimizes a symmetric adjacency mask for `node`'s prediction `label`
-  /// on `adjacency` and returns the ranked computation-subgraph edges.
-  Explanation Explain(const Tensor& adjacency, int64_t node,
+  using Explainer::Explain;
+
+  /// Optimizes a per-edge mask over `node`'s k-hop SubgraphView through the
+  /// sparse CSR forward and returns the ranked computation-subgraph edges.
+  /// One epoch costs O(|E_sub|·h); nothing densifies.  X·W₁ is folded once
+  /// per explainer instance and reused across queries.
+  Explanation Explain(const Graph& graph, int64_t node,
                       int64_t label) const override;
 
-  /// Sparse edge-list twin of Explain: the mask is one logit per edge of
-  /// `node`'s k-hop subgraph (SubgraphView), optimized through the CSR
-  /// forward, so one epoch costs O(|E_sub|·h).  Never densifies; this is
-  /// the path that explains multi-10k-node graphs.  `xw1_full` lets a
-  /// caller that already folded X·W₁ (e.g. CachedXw1 on an AttackContext)
-  /// skip the O(n·d·h) refold this query would otherwise pay.
+  /// Explain with a caller-provided X·W₁ fold (e.g. CachedXw1 on an
+  /// AttackContext) so repeated queries share one O(n·d·h) fold even across
+  /// explainer instances.  `xw1_full == nullptr` uses the instance cache.
   Explanation ExplainGraph(const Graph& graph, int64_t node, int64_t label,
                            const Tensor* xw1_full = nullptr) const;
 
@@ -75,9 +74,15 @@ class GnnExplainer : public Explainer {
   const GnnExplainerConfig& config() const { return config_; }
 
  private:
+  /// The instance's lazily-built X·W₁ fold (a function of the fixed model
+  /// and features only, so it is query-independent).
+  const Tensor& CachedXw1() const;
+
   const Gcn* model_;
   const Tensor* features_;
   GnnExplainerConfig config_;
+  mutable std::once_flag xw1_once_;
+  mutable Tensor xw1_cache_;
 };
 
 }  // namespace geattack

@@ -1,7 +1,9 @@
 #include "src/explain/grad_explainer.h"
 
 #include <cmath>
-#include <unordered_set>
+
+#include "src/graph/subgraph.h"
+#include "src/nn/sparse_forward.h"
 
 namespace geattack {
 
@@ -11,29 +13,37 @@ GradExplainer::GradExplainer(const Gcn* model, const Tensor* features,
   GEA_CHECK(model != nullptr && features != nullptr);
 }
 
-Explanation GradExplainer::Explain(const Tensor& adjacency, int64_t node,
-                                   int64_t label) const {
-  const GcnForwardContext ctx = MakeForwardContext(*model_, *features_);
-  Var adj = Var::Leaf(adjacency, /*requires_grad=*/true, "A");
-  Var loss = NllRow(GcnLogitsVar(ctx, adj), node, label);
-  const Tensor g = GradOne(loss, adj).value();
+const Tensor& GradExplainer::CachedXw1() const {
+  std::call_once(xw1_once_,
+                 [&] { xw1_cache_ = features_->MatMul(model_->w1()); });
+  return xw1_cache_;
+}
 
-  const Graph graph = Graph::FromDense(adjacency);
-  std::unordered_set<int64_t> in_subgraph;
-  if (config_.restrict_to_subgraph) {
-    const auto nodes = graph.KHopNeighborhood(node, config_.hops);
-    in_subgraph.insert(nodes.begin(), nodes.end());
-  }
+Explanation GradExplainer::Explain(const Graph& graph, int64_t node,
+                                   int64_t label) const {
+  GEA_CHECK(node >= 0 && node < graph.num_nodes());
+  const SubgraphView view =
+      BuildSubgraphView(graph, node, config_.hops, /*candidates=*/{});
+  const SparseAttackForward sf =
+      MakeSparseAttackForward(view, *model_, CachedXw1());
 
   Explanation explanation;
   explanation.node = node;
   explanation.label = label;
-  for (const Edge& e : graph.Edges()) {
-    if (config_.restrict_to_subgraph &&
-        (!in_subgraph.count(e.u) || !in_subgraph.count(e.v)))
-      continue;
-    const double saliency = std::fabs(g.at(e.u, e.v) + g.at(e.v, e.u));
-    explanation.ranked_edges.push_back({e, saliency});
+  if (view.num_edges() == 0) return explanation;
+
+  // One undirected value slot per subgraph edge; its gradient aggregates
+  // both directed adjacency entries, matching the dense |g(u,v) + g(v,u)|.
+  Var und = Var::Leaf(view.und_base, /*requires_grad=*/true, "a");
+  Var values = DirectedFromUndirected(sf, und);
+  Var loss = NllRow(SparseGcnLogitsVar(sf, values), view.target_local, label);
+  const Tensor g = GradOne(loss, und).value();
+
+  for (int64_t s = 0; s < view.num_edges(); ++s) {
+    const IndexPair& e = view.edges_local[static_cast<size_t>(s)];
+    const Edge global(view.nodes[static_cast<size_t>(e.u)],
+                      view.nodes[static_cast<size_t>(e.v)]);
+    explanation.ranked_edges.push_back({global, std::fabs(g.at(s, 0))});
   }
   SortScoredEdges(&explanation.ranked_edges);
   return explanation;

@@ -6,9 +6,17 @@
 // Related-work explainers (Grad/Grad-CAM style saliency) reduce to this on
 // graph structure; it serves as a floor for the learned explainers and as a
 // fast inspector in the defense module.
+//
+// Graph-native (see Explainer in explanation.h): the backward runs over the
+// target's k-hop SubgraphView with one gradient slot per undirected edge,
+// O(|E_sub|·h) total.  The per-edge slot gradient equals the dense
+// g(u,v) + g(v,u) sum, and edges outside the receptive field have exactly
+// zero gradient for a 2-layer GCN, so the subgraph ranking loses nothing.
 
 #ifndef GEATTACK_SRC_EXPLAIN_GRAD_EXPLAINER_H_
 #define GEATTACK_SRC_EXPLAIN_GRAD_EXPLAINER_H_
+
+#include <mutex>
 
 #include "src/explain/explanation.h"
 #include "src/nn/gcn.h"
@@ -17,11 +25,9 @@ namespace geattack {
 
 /// Saliency configuration.
 struct GradExplainerConfig {
-  /// Restrict ranking to the 2-hop computation subgraph (edges outside it
-  /// have exactly zero gradient for a 2-layer GCN, so this only trims
-  /// zero-weight tail entries).
+  /// Receptive field: 2 hops for the 2-layer GCN (edges outside it have
+  /// exactly zero gradient, so the ranking covers everything non-trivial).
   int hops = 2;
-  bool restrict_to_subgraph = true;
 };
 
 /// One-backward-pass edge saliency.
@@ -30,13 +36,22 @@ class GradExplainer : public Explainer {
   GradExplainer(const Gcn* model, const Tensor* features,
                 const GradExplainerConfig& config = {});
 
-  Explanation Explain(const Tensor& adjacency, int64_t node,
+  using Explainer::Explain;
+
+  /// Ranks `node`'s computation-subgraph edges by |∂NLL/∂a_e| from one
+  /// sparse backward over the k-hop SubgraphView.
+  Explanation Explain(const Graph& graph, int64_t node,
                       int64_t label) const override;
 
  private:
+  /// Lazily-built X·W₁ fold (query-independent).
+  const Tensor& CachedXw1() const;
+
   const Gcn* model_;
   const Tensor* features_;
   GradExplainerConfig config_;
+  mutable std::once_flag xw1_once_;
+  mutable Tensor xw1_cache_;
 };
 
 }  // namespace geattack

@@ -1,5 +1,6 @@
 #include "src/explain/pg_explainer.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -39,9 +40,17 @@ std::vector<IndexPair> ComputationSubgraphPairs(const Graph& graph,
   const auto nodes = graph.KHopNeighborhood(node, hops);
   const std::unordered_set<int64_t> in_subgraph(nodes.begin(), nodes.end());
   std::vector<IndexPair> pairs;
-  for (const Edge& e : graph.Edges())
-    if (in_subgraph.count(e.u) && in_subgraph.count(e.v))
-      pairs.push_back({e.u, e.v});
+  for (int64_t u : nodes) {
+    for (int64_t v : graph.Neighbors(u)) {
+      if (v <= u || !in_subgraph.count(v)) continue;
+      pairs.push_back({u, v});
+    }
+  }
+  // Canonical (u < v global) edge order, matching Graph::Edges().
+  std::sort(pairs.begin(), pairs.end(), [](const IndexPair& a,
+                                           const IndexPair& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
   return pairs;
 }
 
@@ -79,71 +88,12 @@ PgExplainer::PgExplainer(const Gcn* model, const Tensor* features,
 void PgExplainer::Train(const Tensor& adjacency,
                         const std::vector<int64_t>& instances,
                         const std::vector<int64_t>& labels) {
-  if (config_.sparse) {
-    TrainGraph(Graph::FromDense(adjacency), instances, labels);
-    return;
-  }
-  GEA_CHECK(!instances.empty());
-  const int64_t n = adjacency.rows();
-  const Tensor norm = NormalizeAdjacency(adjacency);
-  const Var hidden = Constant(model_->Hidden(norm, *features_), "H");
-  const Var adj = Constant(adjacency, "A");
-  const GcnForwardContext ctx = MakeForwardContext(*model_, *features_);
-  const Graph graph = Graph::FromDense(adjacency);
-
-  // Precompute per-instance subgraph pairs once.
-  std::vector<std::vector<IndexPair>> pairs_of;
-  pairs_of.reserve(instances.size());
-  for (int64_t v : instances)
-    pairs_of.push_back(ComputationSubgraphPairs(graph, v, config_.hops));
-
-  Adam adam({.lr = config_.lr});
-  adam.Register(&params_.w1);
-  adam.Register(&params_.b1);
-  adam.Register(&params_.w2);
-
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    Var w1 = Var::Leaf(params_.w1, true, "pg_w1");
-    Var b1 = Var::Leaf(params_.b1, true, "pg_b1");
-    Var w2 = Var::Leaf(params_.w2, true, "pg_w2");
-    Var total;
-    for (size_t k = 0; k < instances.size(); ++k) {
-      const int64_t v = instances[k];
-      const auto& pairs = pairs_of[k];
-      if (pairs.empty()) continue;
-      Var omega = PgEdgeLogits(hidden, pairs, v, w1, b1, w2);
-      Var gate = Sigmoid(omega);
-      // Masked graph = A with subgraph edges re-weighted by the gate:
-      // A + scatter(gate - 1) zeroes out down-weighted edges only.
-      Var masked = Add(adj, ScatterEdges(AddScalar(gate, -1.0), pairs, n));
-      Var logits = GcnLogitsVar(ctx, masked);
-      Var loss = NllRow(logits, v, labels[ZU(v)]);
-      // Both regularizers are normalized per edge so they do not swamp the
-      // single-instance NLL on large subgraphs.
-      if (config_.size_coeff > 0)
-        loss = Add(loss, MulScalar(Sum(gate), config_.size_coeff /
-                                                  static_cast<double>(
-                                                      pairs.size())));
-      if (config_.entropy_coeff > 0) {
-        Var gc = AddScalar(MulScalar(gate, 0.998), 0.001);
-        Var om = AddScalar(Neg(gc), 1.0);
-        Var ent = Neg(Add(Mul(gc, Log(gc)), Mul(om, Log(om))));
-        loss = Add(loss, MulScalar(Sum(ent), config_.entropy_coeff /
-                                                static_cast<double>(
-                                                    pairs.size())));
-      }
-      total = total.defined() ? Add(total, loss) : loss;
-    }
-    if (!total.defined()) break;
-    auto grads = Grad(total, {w1, b1, w2});
-    adam.Step({grads[0].value(), grads[1].value(), grads[2].value()});
-  }
-  trained_ = true;
+  Train(Graph::FromDense(adjacency), instances, labels);
 }
 
-void PgExplainer::TrainGraph(const Graph& graph,
-                             const std::vector<int64_t>& instances,
-                             const std::vector<int64_t>& labels) {
+void PgExplainer::Train(const Graph& graph,
+                        const std::vector<int64_t>& instances,
+                        const std::vector<int64_t>& labels) {
   GEA_CHECK(!instances.empty());
   const CsrMatrix norm = NormalizeAdjacencyCsr(graph);
   const Var hidden = Constant(model_->Hidden(norm, *features_), "H");
@@ -151,8 +101,7 @@ void PgExplainer::TrainGraph(const Graph& graph,
 
   // Per-instance views: the induced edges of the k-hop ball are exactly the
   // computation-subgraph pairs, so the gate vector doubles as the
-  // undirected slot values; out-of-ball edges stay unmasked constants in
-  // both paths, making this numerically the dense Train.
+  // undirected slot values; out-of-ball edges stay unmasked constants.
   struct Instance {
     SubgraphView view;
     SparseAttackForward sf;
@@ -193,6 +142,8 @@ void PgExplainer::TrainGraph(const Graph& graph,
       Var values = DirectedFromUndirected(inst.sf, gate);
       Var logits = SparseGcnLogitsVar(inst.sf, values);
       Var loss = NllRow(logits, inst.view.target_local, labels[ZU(v)]);
+      // Both regularizers are normalized per edge so they do not swamp the
+      // single-instance NLL on large subgraphs.
       if (config_.size_coeff > 0)
         loss = Add(loss, MulScalar(Sum(gate), config_.size_coeff /
                                                   static_cast<double>(p)));
@@ -212,38 +163,8 @@ void PgExplainer::TrainGraph(const Graph& graph,
   trained_ = true;
 }
 
-Explanation PgExplainer::Explain(const Tensor& adjacency, int64_t node,
+Explanation PgExplainer::Explain(const Graph& graph, int64_t node,
                                  int64_t label) const {
-  if (config_.sparse)
-    return ExplainGraph(Graph::FromDense(adjacency), node, label);
-  const Tensor norm = NormalizeAdjacency(adjacency);
-  const Var hidden = Constant(model_->Hidden(norm, *features_), "H");
-  const Graph graph = Graph::FromDense(adjacency);
-  std::vector<IndexPair> pairs;
-  if (config_.restrict_to_subgraph) {
-    pairs = ComputationSubgraphPairs(graph, node, config_.hops);
-  } else {
-    for (const Edge& e : graph.Edges()) pairs.push_back({e.u, e.v});
-  }
-
-  Explanation explanation;
-  explanation.node = node;
-  explanation.label = label;
-  if (pairs.empty()) return explanation;
-
-  Var omega = PgEdgeLogits(hidden, pairs, node, Constant(params_.w1),
-                           Constant(params_.b1), Constant(params_.w2));
-  Tensor gate = omega.value().Sigmoid();
-  for (size_t e = 0; e < pairs.size(); ++e) {
-    explanation.ranked_edges.push_back(
-        {Edge(pairs[e].u, pairs[e].v), gate.at(static_cast<int64_t>(e), 0)});
-  }
-  SortScoredEdges(&explanation.ranked_edges);
-  return explanation;
-}
-
-Explanation PgExplainer::ExplainGraph(const Graph& graph, int64_t node,
-                                      int64_t label) const {
   const CsrMatrix norm = NormalizeAdjacencyCsr(graph);
   const Var hidden = Constant(model_->Hidden(norm, *features_), "H");
   std::vector<IndexPair> pairs;

@@ -9,6 +9,11 @@
 // instances with size/entropy regularizers (we use the deterministic
 // relaxation; the concrete-distribution sampling of the original only adds
 // gradient noise and is unnecessary at this scale).
+//
+// Graph-native (see Explainer in explanation.h): training runs per-instance
+// masked forwards on k-hop SubgraphViews (O(|E_sub|·h) per instance-epoch)
+// and explaining scores edges from CSR embeddings — nothing densifies.  The
+// dense Train overload is a reference adapter that converts and delegates.
 
 #ifndef GEATTACK_SRC_EXPLAIN_PG_EXPLAINER_H_
 #define GEATTACK_SRC_EXPLAIN_PG_EXPLAINER_H_
@@ -37,12 +42,6 @@ struct PgExplainerConfig {
   /// PGExplainer's usage for node classification.  Set false to rank every
   /// graph edge (the MLP scores any edge given the target's embedding).
   bool restrict_to_subgraph = true;
-  /// When true, Train()/Explain() run the edge-list paths (TrainGraph /
-  /// ExplainGraph): per-instance masked forwards on the k-hop SubgraphView,
-  /// O(|E_sub|·h) per epoch instead of O(n²·h), numerically equivalent to
-  /// the dense path (only subgraph edges are gated in both).  Off by
-  /// default so existing dense callers keep their exact numerics.
-  bool sparse = false;
 };
 
 /// MLP parameters of the explainer (exposed so GEAttack-PG can differentiate
@@ -74,25 +73,24 @@ class PgExplainer : public Explainer {
               const PgExplainerConfig& config);
 
   /// Trains ψ on `instances` (nodes whose predictions should be preserved)
-  /// over the clean graph `adjacency`.  `labels[v]` is the model prediction
-  /// to preserve for instance v.
+  /// over the clean `graph`.  `labels[v]` is the model prediction to
+  /// preserve for instance v.  Sparse, primary: embeddings come from the
+  /// CSR forward and each instance's masked loss runs on its k-hop
+  /// SubgraphView.
+  void Train(const Graph& graph, const std::vector<int64_t>& instances,
+             const std::vector<int64_t>& labels);
+
+  /// Dense reference adapter for Train: converts and delegates.
   void Train(const Tensor& adjacency, const std::vector<int64_t>& instances,
              const std::vector<int64_t>& labels);
 
-  /// Sparse edge-list twin of Train: embeddings from the CSR forward,
-  /// per-instance masked losses on the instance's k-hop SubgraphView.
-  /// Never densifies.
-  void TrainGraph(const Graph& graph, const std::vector<int64_t>& instances,
-                  const std::vector<int64_t>& labels);
+  using Explainer::Explain;
 
-  /// Ranks the computation-subgraph edges of `node` by σ(ω).  Inductive: no
-  /// per-query optimization, so this works directly on perturbed graphs.
-  Explanation Explain(const Tensor& adjacency, int64_t node,
+  /// Ranks the computation-subgraph edges of `node` by σ(ω) from CSR
+  /// embeddings.  Inductive: no per-query optimization, so this works
+  /// directly on perturbed graphs.
+  Explanation Explain(const Graph& graph, int64_t node,
                       int64_t label) const override;
-
-  /// Sparse twin of Explain (CSR embeddings, no dense adjacency).
-  Explanation ExplainGraph(const Graph& graph, int64_t node,
-                           int64_t label) const;
 
   const PgParams& params() const { return params_; }
   const PgExplainerConfig& config() const { return config_; }

@@ -1,6 +1,7 @@
 #include "src/tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,16 @@
 
 namespace geattack {
 
+namespace {
+
+// DenseAllocGuard state: a process-wide element-count ceiling (0 = disarmed)
+// and the largest allocation seen while armed.  Relaxed atomics suffice —
+// the guard gates a deterministic bench region, not a synchronization edge.
+std::atomic<int64_t> g_alloc_limit{0};
+std::atomic<int64_t> g_alloc_largest{0};
+
+}  // namespace
+
 namespace internal {
 
 void CheckFailed(const char* cond, const char* file, int line) {
@@ -17,16 +28,51 @@ void CheckFailed(const char* cond, const char* file, int line) {
   std::abort();
 }
 
+void NoteTensorAlloc(int64_t elements) {
+  const int64_t limit = g_alloc_limit.load(std::memory_order_relaxed);
+  if (limit <= 0) return;
+  int64_t prev = g_alloc_largest.load(std::memory_order_relaxed);
+  while (elements > prev &&
+         !g_alloc_largest.compare_exchange_weak(prev, elements,
+                                                std::memory_order_relaxed)) {
+  }
+  if (elements >= limit) {
+    std::fprintf(stderr,
+                 "DenseAllocGuard: %lld-element Tensor allocation breaches "
+                 "the armed limit of %lld elements\n",
+                 static_cast<long long>(elements),
+                 static_cast<long long>(limit));
+    std::abort();
+  }
+}
+
 }  // namespace internal
+
+DenseAllocGuard::DenseAllocGuard(int64_t limit_elements) {
+  GEA_CHECK(limit_elements > 0);
+  GEA_CHECK(g_alloc_limit.load(std::memory_order_relaxed) == 0);  // No nesting.
+  g_alloc_largest.store(0, std::memory_order_relaxed);
+  g_alloc_limit.store(limit_elements, std::memory_order_relaxed);
+}
+
+DenseAllocGuard::~DenseAllocGuard() {
+  g_alloc_limit.store(0, std::memory_order_relaxed);
+}
+
+int64_t DenseAllocGuard::largest_observed() {
+  return g_alloc_largest.load(std::memory_order_relaxed);
+}
 
 Tensor::Tensor(int64_t rows, int64_t cols, double fill)
     : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {
   GEA_CHECK(rows >= 0 && cols >= 0);
+  internal::NoteTensorAlloc(rows * cols);
 }
 
 Tensor::Tensor(int64_t rows, int64_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   GEA_CHECK(static_cast<int64_t>(data_.size()) == rows * cols);
+  internal::NoteTensorAlloc(rows * cols);
 }
 
 Tensor Tensor::Scalar(double v) { return Tensor(1, 1, {v}); }

@@ -32,6 +32,9 @@ namespace geattack {
 
 namespace internal {
 [[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
+/// Dense-allocation tripwire hook, called by every allocating Tensor
+/// constructor with the element count (see DenseAllocGuard).
+void NoteTensorAlloc(int64_t elements);
 }  // namespace internal
 
 /// Index cast for std::vector subscripts.  The library indexes with int64_t
@@ -40,6 +43,24 @@ namespace internal {
 /// that no-op cast explicit so -Wsign-conversion builds stay clean without
 /// spelling static_cast through every kernel subscript.
 constexpr std::size_t ZU(int64_t i) { return static_cast<std::size_t>(i); }
+
+/// RAII tripwire proving a code region allocates nothing dense-quadratic:
+/// while armed, any Tensor allocation of `limit_elements` or more elements
+/// aborts with a diagnostic.  The scaling bench arms it around the sparse
+/// 100k attack→explain→defend smoke so a regression that sneaks an n×n
+/// tensor back into the protocol hard-fails the gate instead of silently
+/// eating O(n²) memory.  Process-wide and non-nestable; bench/test use only.
+class DenseAllocGuard {
+ public:
+  explicit DenseAllocGuard(int64_t limit_elements);
+  ~DenseAllocGuard();
+  DenseAllocGuard(const DenseAllocGuard&) = delete;
+  DenseAllocGuard& operator=(const DenseAllocGuard&) = delete;
+
+  /// Largest single Tensor allocation (elements) observed since the guard
+  /// was armed.  Valid while armed.
+  static int64_t largest_observed();
+};
 
 /// A dense row-major matrix of doubles.  A (1,1) tensor doubles as a scalar.
 class Tensor {

@@ -105,7 +105,6 @@ TEST(DriverDeterminismTest, FgaTargeted) {
 TEST(DriverDeterminismTest, FgaTargetedAndEvasive) {
   GnnExplainerConfig cfg;
   cfg.epochs = 10;
-  cfg.sparse = true;
   ExpectIdenticalAcrossThreadCounts(FgaTeAttack(cfg, /*subgraph_size=*/10),
                                     12);
 }
@@ -163,7 +162,6 @@ TEST(DriverTest, EvaluateAttackThreadedMatchesSerialDriver) {
   const FgaAttack attack(/*targeted=*/true);
 
   EvalConfig serial_cfg;
-  serial_cfg.sparse = true;
   serial_cfg.attack_threads = 1;
   EvalConfig threaded_cfg = serial_cfg;
   threaded_cfg.attack_threads = 4;

@@ -51,10 +51,10 @@ GnnExplainerConfig FastExplainerConfig() {
 }
 
 TEST(GnnExplainerTest, RankedEdgesWithinComputationSubgraph) {
+  // The graph-native explainer ranks exactly the computation-subgraph
+  // edges (edges outside the receptive field have zero influence).
   Fixture f = MakeFixture(1);
-  GnnExplainerConfig cfg = FastExplainerConfig();
-  cfg.restrict_to_subgraph = true;
-  GnnExplainer explainer(&f.model, &f.data.features, cfg);
+  GnnExplainer explainer(&f.model, &f.data.features, FastExplainerConfig());
   const int64_t node = f.split.test[0];
   Explanation e =
       explainer.Explain(f.adjacency, node, f.logits.ArgMaxRow(node));
@@ -123,7 +123,7 @@ TEST(GnnExplainerTest, DetectsFgaAdversarialEdges) {
 }
 
 TEST(GnnExplainerTest, SparseEdgeListPathDetectsAdversarialEdges) {
-  // The O(|E_sub|·h) ExplainGraph path must behave like an inspector: its
+  // The O(|E_sub|·h) graph-native path must behave like an inspector: its
   // mask ranks FGA-T's adversarial edges highly, within the k-hop subgraph.
   Fixture f = MakeFixture(3);
   Rng rng(34);
@@ -136,9 +136,7 @@ TEST(GnnExplainerTest, SparseEdgeListPathDetectsAdversarialEdges) {
   ASSERT_GE(prepared.size(), 1u);
   if (prepared.size() > 4) prepared.resize(4);
 
-  GnnExplainerConfig cfg = FastExplainerConfig();
-  cfg.sparse = true;
-  GnnExplainer explainer(&f.model, &f.data.features, cfg);
+  GnnExplainer explainer(&f.model, &f.data.features, FastExplainerConfig());
   const FgaAttack fga(/*targeted=*/true);
   double total_ndcg = 0.0;
   int64_t evaluated = 0;
@@ -149,8 +147,8 @@ TEST(GnnExplainerTest, SparseEdgeListPathDetectsAdversarialEdges) {
     const Graph perturbed = Graph::FromDense(result.adjacency);
     const Tensor logits =
         f.model.LogitsFromGraph(perturbed, f.data.features);
-    Explanation e = explainer.ExplainGraph(perturbed, t.node,
-                                           logits.ArgMaxRow(t.node));
+    Explanation e = explainer.Explain(perturbed, t.node,
+                                      logits.ArgMaxRow(t.node));
     // Subgraph-restricted ranking: every ranked edge is a real edge of the
     // target's 2-hop neighborhood.
     for (const ScoredEdge& se : e.ranked_edges)
@@ -163,10 +161,10 @@ TEST(GnnExplainerTest, SparseEdgeListPathDetectsAdversarialEdges) {
   EXPECT_GT(total_ndcg / static_cast<double>(evaluated), 0.25);
 }
 
-TEST(PgExplainerTest, SparseTrainMatchesDenseTrain) {
-  // TrainGraph gates exactly the edges the dense Train gates (out-of-ball
-  // edges stay unmasked constants in both), so the learned ψ — and hence
-  // the explanations — agree to roundoff.
+TEST(PgExplainerTest, DenseTrainAdapterMatchesGraphTrain) {
+  // The dense Train overload is a reference adapter (one implementation,
+  // two surfaces), so the learned ψ — and hence the explanations — are
+  // bit-identical to the graph-native Train.
   Fixture f = MakeFixture(4);
   std::vector<int64_t> instances(f.split.train.begin(),
                                  f.split.train.begin() + 5);
@@ -176,22 +174,20 @@ TEST(PgExplainerTest, SparseTrainMatchesDenseTrain) {
   cfg.epochs = 10;
   PgExplainer dense(&f.model, &f.data.features, cfg);
   dense.Train(f.adjacency, instances, labels);
-  PgExplainerConfig sparse_cfg = cfg;
-  sparse_cfg.sparse = true;
-  PgExplainer sparse(&f.model, &f.data.features, sparse_cfg);
-  sparse.Train(f.adjacency, instances, labels);
+  PgExplainer sparse(&f.model, &f.data.features, cfg);
+  sparse.Train(f.data.graph, instances, labels);
 
-  EXPECT_LE(dense.params().w1.MaxAbsDiff(sparse.params().w1), 1e-7);
-  EXPECT_LE(dense.params().w2.MaxAbsDiff(sparse.params().w2), 1e-7);
+  EXPECT_EQ(dense.params().w1.MaxAbsDiff(sparse.params().w1), 0.0);
+  EXPECT_EQ(dense.params().w2.MaxAbsDiff(sparse.params().w2), 0.0);
 
   const int64_t node = f.split.test[0];
   const int64_t label = f.logits.ArgMaxRow(node);
   Explanation de = dense.Explain(f.adjacency, node, label);
-  Explanation se = sparse.Explain(f.adjacency, node, label);
+  Explanation se = sparse.Explain(f.data.graph, node, label);
   ASSERT_EQ(de.ranked_edges.size(), se.ranked_edges.size());
   for (size_t i = 0; i < de.ranked_edges.size(); ++i) {
     EXPECT_EQ(de.ranked_edges[i].edge, se.ranked_edges[i].edge);
-    EXPECT_NEAR(de.ranked_edges[i].weight, se.ranked_edges[i].weight, 1e-7);
+    EXPECT_EQ(de.ranked_edges[i].weight, se.ranked_edges[i].weight);
   }
 }
 
@@ -257,6 +253,18 @@ TEST(ExplanationTest, TopEdgesAndRankOf) {
   EXPECT_EQ(e.RankOf(Edge(2, 3)), 2);
   EXPECT_EQ(e.RankOf(Edge(5, 6)), -1);
   EXPECT_EQ(e.TopEdges(10).size(), 3u);
+}
+
+TEST(ExplanationTest, RankIndexMatchesLinearRankOf) {
+  Explanation e;
+  e.ranked_edges = {{Edge(4, 7), 0.9}, {Edge(1, 2), 0.5}, {Edge(0, 9), 0.5},
+                    {Edge(2, 3), 0.1}};
+  const RankIndex index(e);
+  EXPECT_EQ(index.size(), 4);
+  for (const ScoredEdge& se : e.ranked_edges)
+    EXPECT_EQ(index.RankOf(se.edge), e.RankOf(se.edge));
+  EXPECT_EQ(index.RankOf(Edge(5, 6)), -1);
+  EXPECT_EQ(index.RankOf(Edge(0, 1)), -1);
 }
 
 TEST(ExplanationTest, SortStableDeterministicTies) {
