@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/attack/driver.h"
+#include "src/attack/fault_injection.h"
 #include "src/attack/fga.h"
 #include "src/core/geattack.h"
 #include "src/defense/inspector_defense.h"
@@ -163,7 +164,30 @@ struct MultiTargetRow {
   int batch_targets = 0;
   double batched_ms = 0.0;
   bool batched_identical = false;  // Batched picks == serial picks (gate).
+  // Per-target statuses of the serial reference run — a healthy bench run
+  // has zero of either (gated).
+  int64_t failed = 0;
+  int64_t timed_out = 0;
 };
+
+// Fault-containment gate: one poisoned-target pass and one
+// deadline-limited pass through the driver; the faulted target must come
+// back kError / kTimedOut and every survivor must keep the exact
+// fault-free picks.
+struct FaultRow {
+  int64_t n = 0;
+  int64_t targets = 0;
+  bool poisoned_isolated = false;
+  bool deadline_isolated = false;
+};
+
+int64_t CountStatus(const std::vector<AttackResult>& results,
+                    StatusCode code) {
+  int64_t count = 0;
+  for (const AttackResult& r : results)
+    if (r.status.code() == code) ++count;
+  return count;
+}
 
 /// -log softmax[target_label] of the post-attack victim via the sparse
 /// incremental eval path.
@@ -282,11 +306,11 @@ ScalingRow RunScalingRow(int64_t n, bool quick, bool io_round_trip) {
                              "/geattack_scaling_" + std::to_string(n) +
                              ".txt";
     t0 = NowMs();
-    const bool saved = SaveGraphDataToFile(data, path);
+    const bool saved = SaveGraphDataToFile(data, path).ok();
     row.save_ms = NowMs() - t0;
     GraphData loaded;
     t0 = NowMs();
-    const bool load_ok = saved && LoadGraphDataFromFile(path, &loaded);
+    const bool load_ok = saved && LoadGraphDataFromFile(path, &loaded).ok();
     row.load_ms = NowMs() - t0;
     std::remove(path.c_str());
     if (!load_ok || loaded.graph.num_edges() != data.graph.num_edges() ||
@@ -404,6 +428,7 @@ int RunHarness(const std::string& json_path, bool quick) {
   std::vector<Row> geattack_rows, fga_rows;
   std::vector<EquivalenceRow> equivalence;
   std::vector<MultiTargetRow> multi_rows;
+  FaultRow fault_row;
   bool gate_ok = true;
 
   for (int64_t n : sizes) {
@@ -493,6 +518,10 @@ int RunHarness(const std::string& json_path, bool quick) {
       serial_cfg.base_seed = 909;
       std::vector<AttackResult> serial;
       mrow.serial_ms = timed(serial_cfg, &serial);
+      mrow.failed = CountStatus(serial, StatusCode::kError) +
+                    CountStatus(serial, StatusCode::kInvalidArgument);
+      mrow.timed_out = CountStatus(serial, StatusCode::kTimedOut);
+      gate_ok = gate_ok && mrow.failed == 0 && mrow.timed_out == 0;
       AttackDriverConfig par_cfg = serial_cfg;
       par_cfg.num_threads = threads;
       std::vector<AttackResult> parallel;
@@ -560,6 +589,59 @@ int RunHarness(const std::string& json_path, bool quick) {
       std::cerr << "[bench_attack] equivalence gate: "
                 << (gate_ok ? "PASS" : "FAIL") << "\n";
     }
+
+    // ----- Fault-containment gate at the smallest size: survivors of a
+    // poisoned target and of a deadline-limited stall must keep the exact
+    // fault-free picks (the driver's isolation contract, hard-gated). -----
+    if (n == sizes.front() && s.targets.size() >= 2) {
+      const FgaAttack ft_attack(/*targeted=*/true, /*use_sparse=*/true);
+      std::vector<AttackRequest> requests;
+      for (const PreparedTarget& t : s.targets)
+        requests.push_back({t.node, t.target_label, t.budget});
+      AttackDriverConfig cfg;
+      cfg.base_seed = 909;
+      cfg.num_threads = 2;
+      const std::vector<AttackResult> clean =
+          RunMultiTargetAttack(s.ctx, ft_attack, requests, cfg);
+
+      fault_row.n = grow.n;
+      fault_row.targets = static_cast<int64_t>(requests.size());
+      const size_t mid = requests.size() / 2;
+      auto survivors_identical = [&](const std::vector<AttackResult>& got,
+                                     StatusCode expect_mid) {
+        if (got.size() != clean.size()) return false;
+        if (got[mid].status.code() != expect_mid) return false;
+        for (size_t i = 0; i < got.size(); ++i) {
+          if (i == mid) continue;
+          if (!got[i].status.ok() || !SameEdges(got[i], clean[i]))
+            return false;
+        }
+        return true;
+      };
+
+      FaultInjectingAttack poisoned(&ft_attack);
+      poisoned.InjectAt(requests[mid].target_node,
+                        {FaultKind::kThrow, 0.0});
+      fault_row.poisoned_isolated = survivors_identical(
+          RunMultiTargetAttack(s.ctx, poisoned, requests, cfg),
+          StatusCode::kError);
+
+      FaultInjectingAttack stalled(&ft_attack);
+      stalled.InjectAt(requests[mid].target_node,
+                       {FaultKind::kDelay, 300.0});
+      AttackDriverConfig deadline_cfg = cfg;
+      deadline_cfg.target_deadline_ms = 60.0;
+      fault_row.deadline_isolated = survivors_identical(
+          RunMultiTargetAttack(s.ctx, stalled, requests, deadline_cfg),
+          StatusCode::kTimedOut);
+
+      gate_ok = gate_ok && fault_row.poisoned_isolated &&
+                fault_row.deadline_isolated;
+      std::cerr << "[bench_attack] fault-containment gate: poisoned "
+                << (fault_row.poisoned_isolated ? "PASS" : "FAIL")
+                << ", deadline "
+                << (fault_row.deadline_isolated ? "PASS" : "FAIL") << "\n";
+    }
   }
 
   // ----- Scaling: the sparse protocol at 100k (quick + full) and 1M
@@ -608,6 +690,7 @@ int RunHarness(const std::string& json_path, bool quick) {
         << ",\"threaded_targets_per_sec\":" << threaded_tps
         << ",\"speedup\":"
         << (m.threaded_ms > 0.0 ? m.serial_ms / m.threaded_ms : 0.0)
+        << ",\"failed\":" << m.failed << ",\"timed_out\":" << m.timed_out
         << ",\"identical\":" << (m.identical ? "true" : "false") << "}"
         << (i + 1 < multi_rows.size() ? "," : "") << "\n";
   }
@@ -635,7 +718,13 @@ int RunHarness(const std::string& json_path, bool quick) {
         << ",\"identical\":" << (m.batched_identical ? "true" : "false")
         << "}" << (i + 1 < multi_rows.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"equivalence\": [\n";
+  out << "  ],\n  \"fault_containment\": {\"n\":" << fault_row.n
+      << ",\"targets\":" << fault_row.targets
+      << ",\"poisoned_survivors_identical\":"
+      << (fault_row.poisoned_isolated ? "true" : "false")
+      << ",\"deadline_survivors_identical\":"
+      << (fault_row.deadline_isolated ? "true" : "false")
+      << "},\n  \"equivalence\": [\n";
   for (size_t i = 0; i < equivalence.size(); ++i) {
     const EquivalenceRow& e = equivalence[i];
     out << "    {\"n\":" << e.n << ",\"attack\":\"" << e.attack

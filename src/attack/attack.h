@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/graph/graph.h"
 #include "src/nn/gcn.h"
 #include "src/tensor/random.h"
@@ -77,12 +78,28 @@ struct AttackRequest {
   /// untargeted (any wrong label) — only plain FGA uses that mode.
   int64_t target_label = -1;
   int64_t budget = 1;  ///< Δ: maximum number of added edges.
+  /// Optional cooperative deadline/cancellation token (not owned), polled
+  /// by the attack loops at greedy-round / inner-mask-step granularity.
+  /// The multi-target driver plumbs its per-target and whole-run deadlines
+  /// through this; null means no deadline.
+  const CancellationToken* cancel = nullptr;
 };
+
+/// The loop-top cancellation poll every attack loop uses.
+inline bool Cancelled(const AttackRequest& request) {
+  return request.cancel != nullptr && request.cancel->Expired();
+}
 
 /// Attack outcome.
 struct AttackResult {
   Tensor adjacency;               ///< Perturbed dense adjacency Â.
   std::vector<Edge> added_edges;  ///< The adversarial edges E'.
+  /// Per-target outcome.  Attacks themselves only ever mark kTimedOut
+  /// (cooperative deadline hit mid-loop; `added_edges` holds the picks
+  /// committed so far).  The driver adds kError (exception / non-finite
+  /// blowup), kSkipped (run deadline hit before the target started) and
+  /// kInvalidArgument (request rejected by validation).
+  Status status;
 };
 
 /// Interface implemented by every attacker (baselines and GEAttack).

@@ -1,11 +1,14 @@
 #include "src/attack/driver.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "src/attack/journal.h"
 #include "src/graph/subgraph.h"
 
 #ifdef _OPENMP
@@ -97,6 +100,47 @@ void WarmSharedCaches(const AttackContext& ctx) {
   if (!ctx.clean_norm_csr.empty()) ctx.clean_norm_csr.pattern()->Transpose();
 }
 
+/// Empty string when `request` is well-formed; the documented rejection
+/// message otherwise (the request becomes a kInvalidArgument result
+/// without running — no UB, no abort).
+std::string ValidateRequest(const AttackContext& ctx,
+                            const AttackRequest& request) {
+  const int64_t n = ctx.data->num_nodes();
+  if (request.target_node < 0 || request.target_node >= n)
+    return "target_node " + std::to_string(request.target_node) +
+           " out of range [0, " + std::to_string(n) + ")";
+  if (request.target_label < -1 ||
+      request.target_label >= ctx.data->num_classes)
+    return "target_label " + std::to_string(request.target_label) +
+           " out of range [-1, " + std::to_string(ctx.data->num_classes) +
+           ")";
+  if (request.budget < 0)
+    return "budget " + std::to_string(request.budget) + " is negative";
+  return std::string();
+}
+
+/// Rebuilds a replayed journal record into a full result.  Adjacency
+/// values are exactly 0.0/1.0, so clean + AddEdgeDense reproduces the
+/// attack's dense output bit-for-bit.  Returns false on a
+/// corrupt-but-parseable record (out-of-range endpoints) — the target is
+/// simply recomputed.
+bool RebuildJournaledResult(const AttackContext& ctx,
+                            const JournalRecord& record, AttackResult* out) {
+  const int64_t n = ctx.data->num_nodes();
+  for (const Edge& e : record.result.added_edges)
+    if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n || e.u == e.v)
+      return false;
+  *out = record.result;
+  const StatusCode code = out->status.code();
+  if (ctx.clean_adjacency.rows() > 0 &&
+      (code == StatusCode::kOk || code == StatusCode::kTimedOut)) {
+    out->adjacency = ctx.clean_adjacency;
+    for (const Edge& e : out->added_edges)
+      AddEdgeDense(&out->adjacency, e.u, e.v);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::vector<AttackResult> RunMultiTargetAttack(
@@ -105,42 +149,167 @@ std::vector<AttackResult> RunMultiTargetAttack(
     const AttackDriverConfig& config) {
   std::vector<AttackResult> results(requests.size());
   if (requests.empty()) return results;
+  GEA_CHECK(ctx.data != nullptr);
+  const int64_t num_requests = static_cast<int64_t>(requests.size());
 
-  // The task unit is a target *group*: singletons when batch_targets <= 1
-  // (the PR-4 schedule), shared-neighbor groups otherwise.  Each member
-  // keeps the stream of its ORIGINAL request index, so the grouping (and
-  // the thread count) is invisible in the results.
-  std::vector<std::vector<int64_t>> groups;
-  if (config.batch_targets <= 1) {
-    groups.reserve(requests.size());
-    for (int64_t i = 0; i < static_cast<int64_t>(requests.size()); ++i)
-      groups.push_back({i});
-  } else {
-    GEA_CHECK(ctx.data != nullptr);
-    std::vector<int64_t> targets;
-    targets.reserve(requests.size());
-    for (const AttackRequest& r : requests) targets.push_back(r.target_node);
-    groups = GroupTargetsBySharedNeighbors(ctx.data->graph, targets,
-                                           config.batch_targets);
+  // Malformed requests become kInvalidArgument results without running —
+  // they are never scheduled and never journaled (revalidated on resume).
+  std::vector<char> done(requests.size(), 0);
+  for (int64_t i = 0; i < num_requests; ++i) {
+    const std::string error = ValidateRequest(ctx, requests[ZU(i)]);
+    if (!error.empty()) {
+      results[ZU(i)].status = Status::InvalidArgument(error);
+      done[ZU(i)] = 1;
+    }
   }
+
+  // Checkpoint/resume: replay the journal's completed targets, then open
+  // the writer positioned past the last complete record (discarding any
+  // torn tail).
+  AttackJournalWriter journal;
+  std::mutex journal_mutex;
+  if (!config.journal_path.empty()) {
+    const JournalLoadResult prior =
+        LoadAttackJournal(config.journal_path, config.base_seed, num_requests);
+    for (const JournalRecord& record : prior.records) {
+      const int64_t i = record.request_index;
+      if (done[ZU(i)]) continue;
+      if (RebuildJournaledResult(ctx, record, &results[ZU(i)]))
+        done[ZU(i)] = 1;
+    }
+    const Status opened =
+        journal.Open(config.journal_path, prior.header_ok ? prior.valid_bytes : 0,
+                     config.base_seed, num_requests);
+    // A configured journal that cannot be written is a setup error, not a
+    // per-target fault: fail loudly instead of silently dropping durability.
+    if (!opened.ok()) {
+      std::fprintf(stderr, "geattack: %s\n", opened.ToString().c_str());
+      GEA_CHECK(opened.ok());
+    }
+  }
+
+  // The task unit is a target *group* over the still-pending requests:
+  // singletons when batch_targets <= 1 (the PR-4 schedule), shared-neighbor
+  // groups otherwise.  Each member keeps the stream of its ORIGINAL request
+  // index, so grouping, thread count, and resume point are invisible in the
+  // results.
+  std::vector<int64_t> pending;
+  pending.reserve(requests.size());
+  for (int64_t i = 0; i < num_requests; ++i)
+    if (!done[ZU(i)]) pending.push_back(i);
+
+  std::vector<std::vector<int64_t>> groups;  // Of original request indices.
+  if (config.batch_targets <= 1) {
+    groups.reserve(pending.size());
+    for (int64_t i : pending) groups.push_back({i});
+  } else {
+    std::vector<int64_t> targets;
+    targets.reserve(pending.size());
+    for (int64_t i : pending) targets.push_back(requests[ZU(i)].target_node);
+    // GroupTargetsBySharedNeighbors returns groups of positions into
+    // `targets` — remap through `pending` back to request indices.  Any
+    // grouping yields bit-identical per-target results (the batched
+    // contract), so grouping only the pending set is resume-safe.
+    for (const std::vector<int64_t>& g : GroupTargetsBySharedNeighbors(
+             ctx.data->graph, targets, config.batch_targets)) {
+      std::vector<int64_t> group;
+      group.reserve(g.size());
+      for (int64_t local : g) group.push_back(pending[ZU(local)]);
+      groups.push_back(std::move(group));
+    }
+  }
+
+  // Whole-run deadline, armed now; per-target tokens chain to it so an
+  // expired run also cancels in-flight targets at their next poll.
+  CancellationToken run_token;
+  run_token.SetDeadlineAfterMs(config.run_deadline_ms);
+
+  auto run_one = [&](int64_t i, const CancellationToken* token) {
+    AttackRequest request = requests[ZU(i)];
+    request.cancel = token;
+    Rng rng(TargetSeed(config.base_seed, i));
+    return attack.Attack(ctx, request, &rng);
+  };
+  // A per-task fault (exception or non-finite blowup) lands only on its own
+  // target: the result is replaced wholesale, and since every target runs
+  // from its own TargetSeed stream, no survivor observed any state the
+  // faulty task touched.
+  auto fail = [&](int64_t i, const std::string& what) {
+    results[ZU(i)] = AttackResult();
+    results[ZU(i)].status = Status::Error(
+        "target " + std::to_string(requests[ZU(i)].target_node) + ": " + what);
+  };
+  auto run_isolated = [&](int64_t i, const CancellationToken* token) {
+    try {
+      results[ZU(i)] = run_one(i, token);
+    } catch (const std::exception& e) {
+      fail(i, e.what());
+    } catch (...) {
+      fail(i, "unknown exception");
+    }
+  };
 
   auto run_group = [&](int64_t gi) {
     const std::vector<int64_t>& group = groups[static_cast<size_t>(gi)];
-    std::vector<AttackRequest> group_requests;
-    std::vector<Rng> rngs;
-    std::vector<Rng*> rng_ptrs;
-    group_requests.reserve(group.size());
-    rngs.reserve(group.size());
-    for (int64_t i : group) {
-      group_requests.push_back(requests[static_cast<size_t>(i)]);
-      rngs.emplace_back(TargetSeed(config.base_seed, i));
+    if (run_token.Expired()) {
+      // Task started after the run deadline: nothing was computed, so the
+      // targets are skipped (and deliberately NOT journaled — a resumed run
+      // with more time should attack them).
+      for (int64_t i : group) {
+        results[ZU(i)] = AttackResult();
+        results[ZU(i)].status =
+            Status::Skipped("run deadline exceeded before target started");
+      }
+    } else if (group.size() == 1) {
+      CancellationToken token(&run_token);
+      token.SetDeadlineAfterMs(config.target_deadline_ms);
+      run_isolated(group[0], &token);
+    } else {
+      CancellationToken token(&run_token);
+      token.SetDeadlineAfterMs(config.target_deadline_ms);
+      std::vector<AttackRequest> group_requests;
+      std::vector<Rng> rngs;
+      std::vector<Rng*> rng_ptrs;
+      group_requests.reserve(group.size());
+      rngs.reserve(group.size());
+      for (int64_t i : group) {
+        group_requests.push_back(requests[static_cast<size_t>(i)]);
+        group_requests.back().cancel = &token;
+        rngs.emplace_back(TargetSeed(config.base_seed, i));
+      }
+      for (Rng& r : rngs) rng_ptrs.push_back(&r);
+      bool batch_faulted = false;
+      try {
+        std::vector<AttackResult> group_results =
+            attack.AttackBatch(ctx, group_requests, rng_ptrs);
+        GEA_CHECK(group_results.size() == group.size());
+        for (size_t g = 0; g < group.size(); ++g)
+          results[static_cast<size_t>(group[g])] = std::move(group_results[g]);
+      } catch (...) {
+        batch_faulted = true;
+      }
+      if (batch_faulted) {
+        // A fault in the group's shared stacked pass poisons every member's
+        // in-flight state, so re-run each member individually with a fresh
+        // TargetSeed stream and a fresh deadline.  The fault lands only on
+        // the faulty member; survivors recompute their serial-reference
+        // picks, which the batched==serial contract guarantees are the
+        // picks the batch would have produced.
+        for (int64_t i : group) {
+          CancellationToken member_token(&run_token);
+          member_token.SetDeadlineAfterMs(config.target_deadline_ms);
+          run_isolated(i, &member_token);
+        }
+      }
     }
-    for (Rng& r : rngs) rng_ptrs.push_back(&r);
-    std::vector<AttackResult> group_results =
-        attack.AttackBatch(ctx, group_requests, rng_ptrs);
-    GEA_CHECK(group_results.size() == group.size());
-    for (size_t g = 0; g < group.size(); ++g)
-      results[static_cast<size_t>(group[g])] = std::move(group_results[g]);
+    if (journal.is_open()) {
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      for (int64_t i : group) {
+        if (results[ZU(i)].status.code() == StatusCode::kSkipped) continue;
+        const Status appended = journal.Append(i, results[ZU(i)]);
+        GEA_CHECK(appended.ok());
+      }
+    }
   };
 
   const int threads = static_cast<int>(

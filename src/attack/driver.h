@@ -37,6 +37,7 @@
 #define GEATTACK_SRC_ATTACK_DRIVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/attack/attack.h"
@@ -65,6 +66,26 @@ struct AttackDriverConfig {
   /// TargetSeed(base_seed, request_index) stream, so results are
   /// bit-identical to batch_targets = 1 at any thread count and grouping.
   int batch_targets = 1;
+  /// Whole-run wall-clock deadline in milliseconds, armed when the run
+  /// starts (<= 0 = none).  Targets whose task starts after it passed are
+  /// marked kSkipped without running; targets caught mid-loop return their
+  /// partial result as kTimedOut.
+  double run_deadline_ms = 0.0;
+  /// Per-target deadline in milliseconds, armed when the target's task
+  /// STARTS (queue wait does not count), <= 0 = none.  Polled
+  /// cooperatively at greedy-round / inner-mask-step granularity; an
+  /// expired target returns the picks committed so far with kTimedOut.
+  /// With batch_targets > 1 the group shares one token, so the deadline
+  /// bounds the group's lockstep loop.
+  double target_deadline_ms = 0.0;
+  /// Non-empty enables the append-only fsync'd checkpoint journal
+  /// (src/attack/journal.h): every completed target is durably recorded,
+  /// and a re-run with the same path, requests and base_seed resumes —
+  /// journaled targets are replayed, only missing ones are attacked, and
+  /// the final results are byte-identical to an uninterrupted run (the
+  /// per-target TargetSeed streams make resumed targets compute exactly
+  /// what they would have).  The path must be writable (checked).
+  std::string journal_path;
 };
 
 /// Runs `attack` on every request against the shared read-only `ctx` and
@@ -72,6 +93,18 @@ struct AttackDriverConfig {
 /// `num_threads` and any `batch_targets`.  Workers steal whole tasks
 /// (targets, or target groups) from each other's queues, so one slow task
 /// (e.g. a hub node with a huge candidate set) does not serialize the tail.
+///
+/// Fault containment: requests with an out-of-range target_node /
+/// target_label or a negative budget come back as kInvalidArgument without
+/// running; a per-task exception or non-finite score blowup yields a
+/// kError result for that target only.  In both cases every other target's
+/// picks are bit-identical to a run without the bad target — per-target
+/// RNG streams mean a failed target cannot perturb a survivor.  When a
+/// fault hits a batched group's shared stacked pass, the group re-runs
+/// member-by-member (fresh TargetSeed streams, fresh per-target deadlines)
+/// so the fault lands only on the faulty member and survivors keep the
+/// serial-reference picks, which the batched path's contract guarantees
+/// are the batched picks too.
 std::vector<AttackResult> RunMultiTargetAttack(
     const AttackContext& ctx, const TargetedAttack& attack,
     const std::vector<AttackRequest>& requests,

@@ -1,0 +1,48 @@
+#include "src/attack/fault_injection.h"
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace geattack {
+
+FaultInjectingAttack::FaultInjectingAttack(const TargetedAttack* inner)
+    : inner_(inner),
+      attack_calls_(std::make_shared<std::atomic<int64_t>>(0)) {
+  GEA_CHECK(inner_ != nullptr);
+}
+
+void FaultInjectingAttack::InjectAt(int64_t target_node, FaultSpec spec) {
+  faults_[target_node] = spec;
+}
+
+std::string FaultInjectingAttack::name() const {
+  return inner_->name() + "+faults";
+}
+
+AttackResult FaultInjectingAttack::Attack(const AttackContext& ctx,
+                                          const AttackRequest& request,
+                                          Rng* rng) const {
+  attack_calls_->fetch_add(1, std::memory_order_relaxed);
+  const auto it = faults_.find(request.target_node);
+  if (it != faults_.end()) {
+    switch (it->second.kind) {
+      case FaultKind::kThrow:
+        throw std::runtime_error("injected fault");
+      case FaultKind::kNaN:
+        // Exercise the same tripwire the attack loops wrap candidate scores
+        // in — this is what a poisoned gradient looks like to the driver.
+        CheckFiniteScore(std::numeric_limits<double>::quiet_NaN(),
+                         "injected fault score");
+        break;
+      case FaultKind::kDelay:
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            it->second.delay_ms));
+        break;
+    }
+  }
+  return inner_->Attack(ctx, request, rng);
+}
+
+}  // namespace geattack

@@ -14,7 +14,8 @@ int64_t BestCandidateByGradient(const Tensor& gradient, int64_t target,
   int64_t best = -1;
   double best_score = std::numeric_limits<double>::infinity();
   for (int64_t j : candidates) {
-    const double score = gradient.at(target, j) + gradient.at(j, target);
+    const double score = CheckFiniteScore(
+        gradient.at(target, j) + gradient.at(j, target), "gradient score");
     if (score < best_score) {
       best_score = score;
       best = j;
@@ -44,6 +45,10 @@ AttackResult FgaAttack::AttackDense(const AttackContext& ctx,
   Graph current = ctx.data->graph;
 
   for (int64_t step = 0; step < request.budget; ++step) {
+    if (Cancelled(request)) {
+      result.status = Status::TimedOut("deadline exceeded");
+      break;
+    }
     Var adj = Var::Leaf(result.adjacency, /*requires_grad=*/true, "A_hat");
     Var loss;
     if (targeted_) {
@@ -121,11 +126,17 @@ std::vector<AttackResult> FgaAttack::AttackBatch(
     std::vector<int64_t> live;
     std::vector<char> is_live(static_cast<size_t>(k), 0);
     for (int64_t t = 0; t < k; ++t) {
-      if (!done[static_cast<size_t>(t)] &&
-          step < requests[static_cast<size_t>(t)].budget) {
-        live.push_back(t);
-        is_live[static_cast<size_t>(t)] = 1;
+      if (done[static_cast<size_t>(t)] ||
+          step >= requests[static_cast<size_t>(t)].budget)
+        continue;
+      if (Cancelled(requests[static_cast<size_t>(t)])) {
+        done[static_cast<size_t>(t)] = 1;
+        results[static_cast<size_t>(t)].status =
+            Status::TimedOut("deadline exceeded");
+        continue;
       }
+      live.push_back(t);
+      is_live[static_cast<size_t>(t)] = 1;
     }
     if (live.empty()) break;
 
@@ -185,8 +196,10 @@ std::vector<AttackResult> FgaAttack::AttackBatch(
         if (excluded.count(
                 pt.view->candidates_global[static_cast<size_t>(c)]))
           continue;
-        if (g.at(c, 0) < best) {
-          best = g.at(c, 0);
+        const double score =
+            CheckFiniteScore(g.at(c, 0), "gradient score");
+        if (score < best) {
+          best = score;
           pick = c;
         }
       }
@@ -230,6 +243,10 @@ AttackResult FgaAttack::AttackSparse(const AttackContext& ctx,
   Graph current = clean;
 
   for (int64_t step = 0; step < request.budget && m > 0; ++step) {
+    if (Cancelled(request)) {
+      result.status = Status::TimedOut("deadline exceeded");
+      break;
+    }
     int64_t label = request.target_label;
     if (!targeted_) {
       label = ctx.model->LogitsFromGraph(current, ctx.data->features)
@@ -251,8 +268,9 @@ AttackResult FgaAttack::AttackSparse(const AttackContext& ctx,
       if (!active[static_cast<size_t>(k)]) continue;
       if (excluded.count(view.candidates_global[static_cast<size_t>(k)]))
         continue;
-      if (g.at(k, 0) < best) {
-        best = g.at(k, 0);
+      const double score = CheckFiniteScore(g.at(k, 0), "gradient score");
+      if (score < best) {
+        best = score;
         pick = k;
       }
     }

@@ -22,7 +22,9 @@ AttackResult IgAttack::AttackDense(const AttackContext& ctx,
   const GcnForwardContext& fwd = CachedForward(ctx);
   const int64_t v = request.target_node;
 
-  for (int64_t step = 0; step < request.budget; ++step) {
+  bool timed_out = false;
+  for (int64_t step = 0; step < request.budget && !timed_out; ++step) {
+    if (Cancelled(request)) break;
     auto candidates = DirectAddCandidates(result.adjacency, v,
                                           ctx.data->labels, /*label*/ -1);
     if (candidates.empty()) break;
@@ -42,9 +44,16 @@ AttackResult IgAttack::AttackDense(const AttackContext& ctx,
     }
 
     // Exact per-candidate integrated gradients along the single-entry path.
+    // One IG round is `steps` full backwards per candidate — by far the
+    // most expensive greedy round in the suite — so the deadline is also
+    // polled per candidate.
     int64_t best = -1;
     double best_ig = std::numeric_limits<double>::infinity();
     for (int64_t j : candidates) {
+      if (Cancelled(request)) {
+        timed_out = true;
+        break;
+      }
       double ig = 0.0;
       for (int64_t k = 1; k <= config_.steps; ++k) {
         const double alpha =
@@ -57,16 +66,19 @@ AttackResult IgAttack::AttackDense(const AttackContext& ctx,
         const Tensor g = GradOne(loss, adj).value();
         ig += g.at(v, j) + g.at(j, v);
       }
-      ig /= static_cast<double>(config_.steps);
+      ig = CheckFiniteScore(ig / static_cast<double>(config_.steps),
+                            "integrated-gradient score");
       if (ig < best_ig) {
         best_ig = ig;
         best = j;
       }
     }
-    if (best < 0) break;
+    if (timed_out || best < 0) break;
     AddEdgeDense(&result.adjacency, v, best);
     result.added_edges.emplace_back(v, best);
   }
+  if (timed_out || Cancelled(request))
+    result.status = Status::TimedOut("deadline exceeded");
   return result;
 }
 
@@ -95,7 +107,10 @@ AttackResult IgAttack::AttackSparse(const AttackContext& ctx,
     return GradOne(loss, w).value();
   };
 
-  for (int64_t step = 0; step < request.budget && m > 0; ++step) {
+  bool timed_out = false;
+  for (int64_t step = 0; step < request.budget && m > 0 && !timed_out;
+       ++step) {
+    if (Cancelled(request)) break;
     std::vector<int64_t> pool;  // Candidate indices into the view.
     for (int64_t k = 0; k < m; ++k)
       if (active[static_cast<size_t>(k)]) pool.push_back(k);
@@ -114,6 +129,10 @@ AttackResult IgAttack::AttackSparse(const AttackContext& ctx,
     double best_ig = std::numeric_limits<double>::infinity();
     Tensor w_tensor = Tensor::Zeros(m, 1);
     for (int64_t k : pool) {
+      if (Cancelled(request)) {
+        timed_out = true;
+        break;
+      }
       double ig = 0.0;
       for (int64_t s = 1; s <= config_.steps; ++s) {
         w_tensor.at(k, 0) =
@@ -121,13 +140,14 @@ AttackResult IgAttack::AttackSparse(const AttackContext& ctx,
         ig += grad_at(w_tensor).at(k, 0);
       }
       w_tensor.at(k, 0) = 0.0;
-      ig /= static_cast<double>(config_.steps);
+      ig = CheckFiniteScore(ig / static_cast<double>(config_.steps),
+                            "integrated-gradient score");
       if (ig < best_ig) {
         best_ig = ig;
         best = k;
       }
     }
-    if (best < 0) break;
+    if (timed_out || best < 0) break;
     const int64_t j = view.candidates_global[static_cast<size_t>(best)];
     CommitCandidate(&sf, best);
     active[static_cast<size_t>(best)] = 0;
@@ -135,6 +155,8 @@ AttackResult IgAttack::AttackSparse(const AttackContext& ctx,
     result.added_edges.emplace_back(v, j);
   }
 
+  if (timed_out || Cancelled(request))
+    result.status = Status::TimedOut("deadline exceeded");
   if (ctx.clean_adjacency.rows() > 0)
     result.adjacency = current.DenseAdjacency();
   return result;

@@ -1,0 +1,181 @@
+#include "src/attack/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#include "src/graph/io_text.h"
+
+namespace geattack {
+
+namespace {
+
+using textio::AppendInt;
+using textio::AppendUint;
+using textio::Cursor;
+using textio::ParseInt;
+using textio::ParseToken;
+using textio::ParseUint;
+using textio::ReadAll;
+
+// Sanity caps: a corrupted length field must not drive a giant allocation.
+constexpr int64_t kMaxEdgesPerRecord = int64_t{1} << 24;
+constexpr int64_t kMaxMessageBytes = int64_t{1} << 20;
+
+bool ValidCode(int64_t code) {
+  return code >= static_cast<int64_t>(StatusCode::kOk) &&
+         code <= static_cast<int64_t>(StatusCode::kDataLoss);
+}
+
+/// Parses one record at the cursor.  Returns false on a torn or malformed
+/// record (the loader stops there).
+bool ParseRecord(Cursor* c, int64_t num_requests, JournalRecord* out) {
+  std::string_view token;
+  if (!ParseToken(c, &token) || token != "r") return false;
+  int64_t idx = 0, code = 0, num_edges = 0, msg_len = 0;
+  if (!ParseInt(c, &idx) || !ParseInt(c, &code) || !ParseInt(c, &num_edges))
+    return false;
+  if (idx < 0 || idx >= num_requests || !ValidCode(code)) return false;
+  if (num_edges < 0 || num_edges > kMaxEdgesPerRecord) return false;
+  out->request_index = idx;
+  out->result.added_edges.clear();
+  out->result.added_edges.reserve(static_cast<size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    int64_t u = 0, v = 0;
+    if (!ParseInt(c, &u) || !ParseInt(c, &v)) return false;
+    out->result.added_edges.emplace_back(u, v);
+  }
+  if (!ParseInt(c, &msg_len)) return false;
+  if (msg_len < 0 || msg_len > kMaxMessageBytes) return false;
+  // Exactly one '\n' separates the length from the raw message bytes.
+  if (c->p >= c->end || *c->p != '\n') return false;
+  ++c->p;
+  if (c->end - c->p < msg_len) return false;  // Torn mid-message.
+  std::string message(c->p, static_cast<size_t>(msg_len));
+  c->p += msg_len;
+  if (!ParseToken(c, &token) || token != ";") return false;
+  out->result.status =
+      Status::FromCode(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+/// write(2) the whole buffer, retrying on short writes / EINTR.
+bool WriteAll(int fd, const std::string& buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t w = ::write(fd, buf.data() + off, buf.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+JournalLoadResult LoadAttackJournal(const std::string& path,
+                                    uint64_t base_seed,
+                                    int64_t num_requests) {
+  JournalLoadResult loaded;
+  std::ifstream is(path);
+  std::string buf;
+  if (!is || !ReadAll(is, &buf)) return loaded;  // Fresh start.
+  Cursor c{buf.data(), buf.data() + buf.size()};
+
+  std::string_view token;
+  if (!ParseToken(&c, &token) || token != "geajournal") return loaded;
+  if (!ParseToken(&c, &token) || token != "v1") return loaded;
+  if (!ParseToken(&c, &token) || token != "meta") return loaded;
+  uint64_t seed = 0;
+  int64_t count = 0;
+  if (!ParseUint(&c, &seed) || !ParseInt(&c, &count)) return loaded;
+  // A journal for a different seed or request set belongs to some other
+  // run; replaying it would be wrong, so it is ignored (and overwritten).
+  if (seed != base_seed || count != num_requests) return loaded;
+  loaded.header_ok = true;
+  textio::SkipSpace(&c);
+  loaded.valid_bytes = c.p - buf.data();
+
+  JournalRecord record;
+  while (c.p < c.end) {
+    if (!ParseRecord(&c, num_requests, &record)) break;  // Torn tail.
+    loaded.records.push_back(std::move(record));
+    record = JournalRecord();
+    textio::SkipSpace(&c);
+    loaded.valid_bytes = c.p - buf.data();
+  }
+  return loaded;
+}
+
+AttackJournalWriter::~AttackJournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AttackJournalWriter::Open(const std::string& path,
+                                 int64_t resume_offset, uint64_t base_seed,
+                                 int64_t num_requests) {
+  GEA_CHECK(fd_ < 0);
+  GEA_CHECK(resume_offset >= 0);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return Status::Error(ErrnoMessage("cannot open journal", path));
+  if (::ftruncate(fd_, static_cast<off_t>(resume_offset)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Error(ErrnoMessage("cannot position journal", path));
+  }
+  if (resume_offset == 0) {
+    std::string header = "geajournal v1\nmeta ";
+    AppendUint(&header, base_seed);
+    header += ' ';
+    AppendInt(&header, num_requests);
+    header += '\n';
+    if (!WriteAll(fd_, header)) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::Error(ErrnoMessage("cannot write journal header", path));
+    }
+  }
+  if (::fsync(fd_) != 0)
+    return Status::Error(ErrnoMessage("cannot fsync journal", path));
+  return Status::Ok();
+}
+
+Status AttackJournalWriter::Append(int64_t request_index,
+                                   const AttackResult& result) {
+  GEA_CHECK(fd_ >= 0);
+  std::string out = "r ";
+  AppendInt(&out, request_index);
+  out += ' ';
+  AppendInt(&out, static_cast<int64_t>(result.status.code()));
+  out += ' ';
+  AppendInt(&out, static_cast<int64_t>(result.added_edges.size()));
+  for (const Edge& e : result.added_edges) {
+    out += ' ';
+    AppendInt(&out, e.u);
+    out += ' ';
+    AppendInt(&out, e.v);
+  }
+  out += ' ';
+  AppendInt(&out,
+            static_cast<int64_t>(result.status.message().size()));
+  out += '\n';
+  out += result.status.message();
+  out += "\n;\n";
+  if (!WriteAll(fd_, out)) return Status::Error("journal write failed");
+  if (::fsync(fd_) != 0) return Status::Error("journal fsync failed");
+  return Status::Ok();
+}
+
+}  // namespace geattack

@@ -1,0 +1,90 @@
+// Append-only, fsync'd checkpoint journal for multi-target attack runs
+// ("geajournal v1").
+//
+// The driver appends one record per completed target; a killed run resumes
+// by replaying the journal and attacking only the missing targets.  Because
+// every target draws from its own TargetSeed(base_seed, request_index)
+// stream, the resumed targets compute exactly what an uninterrupted run
+// would have — final results are byte-identical.
+//
+// On-disk format (line-oriented text, reusing src/graph/io_text.h):
+//
+//   geajournal v1
+//   meta <base_seed> <num_requests>
+//   r <request_index> <status_code> <num_edges> [u v]... <msg_len>
+//   <msg_len raw message bytes>
+//   ;
+//
+// The status message is length-prefixed raw bytes so resumed results carry
+// byte-identical diagnostics.  Records are durable when Append returns
+// (write + fsync); a torn tail (the record being written when the process
+// died) parses as invalid and is truncated away on resume.  A journal whose
+// header or meta line does not match the run (different seed or request
+// count) is ignored and overwritten — it belongs to some other run.
+
+#ifndef GEATTACK_SRC_ATTACK_JOURNAL_H_
+#define GEATTACK_SRC_ATTACK_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/attack/attack.h"
+#include "src/base/status.h"
+
+namespace geattack {
+
+/// One replayed journal entry.  `result` carries added_edges and status
+/// only; the driver reconstructs the dense adjacency (exactly 0.0/1.0
+/// values) from the context's clean adjacency.
+struct JournalRecord {
+  int64_t request_index = -1;
+  AttackResult result;
+};
+
+struct JournalLoadResult {
+  /// Magic + meta matched this run's (base_seed, num_requests).
+  bool header_ok = false;
+  /// Byte offset just past the last complete record — the resume offset.
+  /// 0 when header_ok is false (the file will be overwritten).
+  int64_t valid_bytes = 0;
+  /// Complete records in file order (indices validated against
+  /// num_requests; the driver takes the first record per index — the
+  /// writer appends each target exactly once, so duplicates only arise
+  /// from corruption).
+  std::vector<JournalRecord> records;
+};
+
+/// Replays `path`.  A missing or unreadable file is a normal fresh start
+/// (header_ok = false, no records).  Parsing stops at the first torn or
+/// malformed record; everything before it is returned.
+JournalLoadResult LoadAttackJournal(const std::string& path,
+                                    uint64_t base_seed, int64_t num_requests);
+
+/// Appends durable records; one instance per run, writes serialized by the
+/// driver's journal mutex.
+class AttackJournalWriter {
+ public:
+  AttackJournalWriter() = default;
+  ~AttackJournalWriter();
+  AttackJournalWriter(const AttackJournalWriter&) = delete;
+  AttackJournalWriter& operator=(const AttackJournalWriter&) = delete;
+
+  /// Opens `path` truncated to `resume_offset` (any torn tail past the last
+  /// complete record is discarded); offset 0 starts fresh and writes the
+  /// header + meta lines.
+  Status Open(const std::string& path, int64_t resume_offset,
+              uint64_t base_seed, int64_t num_requests);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one record; durable (fsync'd) when this returns Ok.
+  Status Append(int64_t request_index, const AttackResult& result);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_ATTACK_JOURNAL_H_

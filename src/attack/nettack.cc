@@ -39,6 +39,10 @@ AttackResult Nettack::AttackDense(const AttackContext& ctx,
   Graph current = Graph::FromDense(ctx.clean_adjacency);
 
   for (int64_t step = 0; step < request.budget; ++step) {
+    if (Cancelled(request)) {
+      result.status = Status::TimedOut("deadline exceeded");
+      break;
+    }
     const auto candidates = DirectAddCandidates(result.adjacency, v,
                                                 ctx.data->labels, /*label*/ -1);
     // Score each candidate by the surrogate margin of the target label
@@ -53,7 +57,8 @@ AttackResult Nettack::AttackDense(const AttackContext& ctx,
       Tensor trial = result.adjacency;
       AddEdgeDense(&trial, v, j);
       const Tensor logits_row = surrogate.LogitsRow(trial, v);
-      const double margin = TargetMargin(logits_row, target_label);
+      const double margin = CheckFiniteScore(
+          TargetMargin(logits_row, target_label), "surrogate margin");
       if (margin > best_margin) {
         best_margin = margin;
         best = j;
@@ -91,6 +96,10 @@ AttackResult Nettack::AttackSparse(const AttackContext& ctx,
         static_cast<double>(clean.Degree(i)) + 1.0;
 
   for (int64_t step = 0; step < request.budget; ++step) {
+    if (Cancelled(request)) {
+      result.status = Status::TimedOut("deadline exceeded");
+      break;
+    }
     const auto candidates =
         DirectAddCandidates(current, v, ctx.data->labels, /*label*/ -1);
     int64_t best = -1;
@@ -102,7 +111,8 @@ AttackResult Nettack::AttackSparse(const AttackContext& ctx,
       }
       const Tensor logits_row =
           surrogate.LogitsRowWithEdgeAdded(norm, degp1, v, j);
-      const double margin = TargetMargin(logits_row, target_label);
+      const double margin = CheckFiniteScore(
+          TargetMargin(logits_row, target_label), "surrogate margin");
       if (margin > best_margin) {
         best_margin = margin;
         best = j;

@@ -9,6 +9,10 @@ AttackResult RandomAttack::Attack(const AttackContext& ctx,
   AttackResult result;
   result.adjacency = ctx.clean_adjacency;
   for (int64_t step = 0; step < request.budget; ++step) {
+    if (Cancelled(request)) {
+      result.status = Status::TimedOut("deadline exceeded");
+      break;
+    }
     auto candidates =
         DirectAddCandidates(result.adjacency, request.target_node,
                             ctx.data->labels, request.target_label);

@@ -1,0 +1,33 @@
+#include "src/base/status.h"
+
+namespace geattack {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kError:
+      return "error";
+    case StatusCode::kTimedOut:
+      return "timed_out";
+    case StatusCode::kSkipped:
+      return "skipped";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace geattack

@@ -38,13 +38,19 @@ AttackResult GeAttack::AttackDense(const AttackContext& ctx,
   const Tensor mask_init =
       rng->NormalTensor(n, n, 0.0, config_.mask_init_scale);
 
-  for (int64_t outer = 0; outer < request.budget; ++outer) {
+  bool timed_out = false;
+  for (int64_t outer = 0; outer < request.budget && !timed_out; ++outer) {
+    if (Cancelled(request)) break;
     // Ahat participates in both loss terms and in every inner update.
     Var adj = Var::Leaf(result.adjacency, /*requires_grad=*/true, "A_hat");
 
     // ----- Inner loop (lines 5-8): differentiable explainer mimicry. -----
     Var mask = Var::Leaf(mask_init, /*requires_grad=*/true, "M0");
     for (int64_t t = 0; t < config_.inner_steps; ++t) {
+      if (Cancelled(request)) {
+        timed_out = true;
+        break;
+      }
       Var inner_loss =
           GnnExplainer::ExplainerLoss(fwd, adj, mask, v, label);
       // create_graph keeps P's dependence on `adj`, which is what makes the
@@ -52,6 +58,7 @@ AttackResult GeAttack::AttackDense(const AttackContext& ctx,
       Var p = GradOne(inner_loss, mask, {.create_graph = true});
       mask = Sub(mask, MulScalar(p, config_.eta));
     }
+    if (timed_out) break;
 
     // ----- Outer objective (Eq. 7). -----
     Var attack_loss = TargetedAttackLoss(fwd, adj, v, label);
@@ -70,6 +77,8 @@ AttackResult GeAttack::AttackDense(const AttackContext& ctx,
     result.added_edges.emplace_back(v, pick);
     if (!config_.keep_penalty_on_added) b_row.at(0, pick) = 0.0;
   }
+  if (timed_out || Cancelled(request))
+    result.status = Status::TimedOut("deadline exceeded");
   return result;
 }
 
@@ -124,11 +133,17 @@ std::vector<AttackResult> GeAttack::AttackBatch(
     std::vector<int64_t> live;
     std::vector<char> is_live(static_cast<size_t>(k), 0);
     for (int64_t t = 0; t < k; ++t) {
-      if (!done[static_cast<size_t>(t)] &&
-          outer < requests[static_cast<size_t>(t)].budget) {
-        live.push_back(t);
-        is_live[static_cast<size_t>(t)] = 1;
+      if (done[static_cast<size_t>(t)] ||
+          outer >= requests[static_cast<size_t>(t)].budget)
+        continue;
+      if (Cancelled(requests[static_cast<size_t>(t)])) {
+        done[static_cast<size_t>(t)] = 1;
+        results[static_cast<size_t>(t)].status =
+            Status::TimedOut("deadline exceeded");
+        continue;
       }
+      live.push_back(t);
+      is_live[static_cast<size_t>(t)] = 1;
     }
     if (live.empty()) break;
 
@@ -222,8 +237,10 @@ std::vector<AttackResult> GeAttack::AttackBatch(
       const int64_t m = pt.view->num_candidates();
       for (int64_t c = 0; c < m; ++c) {
         if (!active[static_cast<size_t>(t)][static_cast<size_t>(c)]) continue;
-        if (q.at(c, 0) < best) {
-          best = q.at(c, 0);
+        const double score =
+            CheckFiniteScore(q.at(c, 0), "hypergradient score");
+        if (score < best) {
+          best = score;
           pick = c;
         }
       }
@@ -286,7 +303,10 @@ AttackResult GeAttack::AttackSparse(const AttackContext& ctx,
   std::vector<char> active(static_cast<size_t>(m), 1);
   Graph current = clean;
 
-  for (int64_t outer = 0; outer < request.budget && m > 0; ++outer) {
+  bool timed_out = false;
+  for (int64_t outer = 0; outer < request.budget && m > 0 && !timed_out;
+       ++outer) {
+    if (Cancelled(request)) break;
     Var w = Var::Leaf(Tensor::Zeros(m, 1), /*requires_grad=*/true, "w");
 
     // ----- Inner loop: differentiable explainer mimicry over the edge
@@ -296,6 +316,10 @@ AttackResult GeAttack::AttackSparse(const AttackContext& ctx,
     // the outer gradient is the same hypergradient as the dense path's.
     Var mu = Var::Leaf(mask_init, /*requires_grad=*/true, "M0");
     for (int64_t t = 0; t < config_.inner_steps; ++t) {
+      if (Cancelled(request)) {
+        timed_out = true;
+        break;
+      }
       Var a_und = UndirectedValuesFromCandidates(sf, w);
       Var masked = Mul(a_und, Sigmoid(mu));
       Var values = DirectedFromUndirected(sf, masked);
@@ -307,6 +331,7 @@ AttackResult GeAttack::AttackSparse(const AttackContext& ctx,
       // moves at half the per-entry rate.
       mu = Sub(mu, MulScalar(p, 0.5 * config_.eta));
     }
+    if (timed_out) break;
 
     // ----- Outer objective: Eq. (7) over candidate values. -----
     Var attack_loss =
@@ -322,8 +347,9 @@ AttackResult GeAttack::AttackSparse(const AttackContext& ctx,
     double best = std::numeric_limits<double>::infinity();
     for (int64_t k = 0; k < m; ++k) {
       if (!active[static_cast<size_t>(k)]) continue;
-      if (q.at(k, 0) < best) {
-        best = q.at(k, 0);
+      const double score = CheckFiniteScore(q.at(k, 0), "hypergradient score");
+      if (score < best) {
+        best = score;
         pick = k;
       }
     }
@@ -336,6 +362,8 @@ AttackResult GeAttack::AttackSparse(const AttackContext& ctx,
     if (!config_.keep_penalty_on_added) b_vec.at(pick, 0) = 0.0;
   }
 
+  if (timed_out || Cancelled(request))
+    result.status = Status::TimedOut("deadline exceeded");
   if (ctx.clean_adjacency.rows() > 0)
     result.adjacency = current.DenseAdjacency();
   return result;

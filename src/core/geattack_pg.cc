@@ -31,7 +31,9 @@ AttackResult GeAttackPg::AttackDense(const AttackContext& ctx,
   // Only row v of B is read (direct attack); line 10's zeroing stays local.
   Tensor b_row = CachedPenaltyBase(ctx).Row(v);
 
-  for (int64_t outer = 0; outer < request.budget; ++outer) {
+  bool timed_out = false;
+  for (int64_t outer = 0; outer < request.budget && !timed_out; ++outer) {
+    if (Cancelled(request)) break;
     Var adj = Var::Leaf(result.adjacency, /*requires_grad=*/true, "A_hat");
     // Embeddings depend on Â differentiably: H = ReLU(norm(Â)·XW₁).
     Var norm = NormalizeAdjacencyVar(adj);
@@ -47,6 +49,10 @@ AttackResult GeAttackPg::AttackDense(const AttackContext& ctx,
     Var w2 = Var::Leaf(explainer_->params().w2, true, "pg_w2");
     if (!pairs.empty()) {
       for (int64_t t = 0; t < config_.inner_steps; ++t) {
+        if (Cancelled(request)) {
+          timed_out = true;
+          break;
+        }
         Var omega = PgEdgeLogits(hidden, pairs, v, w1, b1, w2);
         Var gate = Sigmoid(omega);
         Var masked = Add(adj, ScatterEdges(AddScalar(gate, -1.0), pairs, n));
@@ -58,6 +64,7 @@ AttackResult GeAttackPg::AttackDense(const AttackContext& ctx,
         w2 = Sub(w2, MulScalar(grads[2], config_.eta));
       }
     }
+    if (timed_out) break;
 
     // ----- Outer objective: attack loss + λ · Σ ω(v, j)·B[v,j] over the
     // candidate edges. -----
@@ -85,6 +92,8 @@ AttackResult GeAttackPg::AttackDense(const AttackContext& ctx,
     result.added_edges.emplace_back(v, pick);
     if (!config_.keep_penalty_on_added) b_row.at(0, pick) = 0.0;
   }
+  if (timed_out || Cancelled(request))
+    result.status = Status::TimedOut("deadline exceeded");
   return result;
 }
 
@@ -114,7 +123,10 @@ AttackResult GeAttackPg::AttackSparse(const AttackContext& ctx,
   std::vector<char> active(static_cast<size_t>(m), 1);
   Graph current = clean;
 
-  for (int64_t outer = 0; outer < request.budget && m > 0; ++outer) {
+  bool timed_out = false;
+  for (int64_t outer = 0; outer < request.budget && m > 0 && !timed_out;
+       ++outer) {
+    if (Cancelled(request)) break;
     Var w = Var::Leaf(Tensor::Zeros(m, 1), /*requires_grad=*/true, "w");
     // Embeddings depend on the candidate values differentiably.
     Var norm_vals =
@@ -162,6 +174,10 @@ AttackResult GeAttackPg::AttackSparse(const AttackContext& ctx,
           std::move(pad), std::vector<double>(pairs.size(), 1.0));
 
       for (int64_t t = 0; t < config_.inner_steps; ++t) {
+        if (Cancelled(request)) {
+          timed_out = true;
+          break;
+        }
         Var omega = PgEdgeLogits(hidden, pairs, view.target_local, w1, b1,
                                  w2);
         Var gate = Sigmoid(omega);
@@ -176,6 +192,7 @@ AttackResult GeAttackPg::AttackSparse(const AttackContext& ctx,
         w2 = Sub(w2, MulScalar(grads[2], config_.eta));
       }
     }
+    if (timed_out) break;
 
     // ----- Outer objective over the active candidates. -----
     std::vector<IndexPair> candidate_pairs;
@@ -204,8 +221,9 @@ AttackResult GeAttackPg::AttackSparse(const AttackContext& ctx,
     int64_t pick = -1;
     double best = std::numeric_limits<double>::infinity();
     for (int64_t k : cand_of_pair) {
-      if (q.at(k, 0) < best) {
-        best = q.at(k, 0);
+      const double score = CheckFiniteScore(q.at(k, 0), "hypergradient score");
+      if (score < best) {
+        best = score;
         pick = k;
       }
     }
@@ -218,6 +236,8 @@ AttackResult GeAttackPg::AttackSparse(const AttackContext& ctx,
     if (!config_.keep_penalty_on_added) b_vec.at(pick, 0) = 0.0;
   }
 
+  if (timed_out || Cancelled(request))
+    result.status = Status::TimedOut("deadline exceeded");
   if (ctx.clean_adjacency.rows() > 0)
     result.adjacency = current.DenseAdjacency();
   return result;

@@ -132,6 +132,27 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
     for (const Edge& e : result.added_edges) work.RemoveEdge(e.u, e.v);
   };
 
+  // Routes one result to the stats or the failure tallies.  Only ok results
+  // are inspected: a failed result carries no (or a partial) perturbed
+  // graph, and feeding it to the means would let one crashed target bend
+  // every aggregate.
+  auto tally = [&](const PreparedTarget& t, const AttackResult& result) {
+    switch (result.status.code()) {
+      case StatusCode::kOk:
+        inspect(t, result);
+        break;
+      case StatusCode::kTimedOut:
+        ++outcome.num_timed_out;
+        break;
+      case StatusCode::kSkipped:
+        ++outcome.num_skipped;
+        break;
+      default:
+        ++outcome.num_failed;
+        break;
+    }
+  };
+
   if (eval_config.attack_threads >= 1) {
     // Thread-pool driver: independent per-target streams seeded off one
     // draw from `rng`, so the whole evaluation still replays from the
@@ -145,15 +166,49 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
     driver_config.num_threads = eval_config.attack_threads;
     driver_config.batch_targets = eval_config.batch_targets;
     driver_config.base_seed = rng->engine()();
+    driver_config.target_deadline_ms = eval_config.target_deadline_ms;
+    driver_config.run_deadline_ms = eval_config.run_deadline_ms;
+    driver_config.journal_path = eval_config.journal_path;
     const std::vector<AttackResult> results =
         RunMultiTargetAttack(ctx, attack, requests, driver_config);
-    for (size_t i = 0; i < targets.size(); ++i) inspect(targets[i], results[i]);
+    for (size_t i = 0; i < targets.size(); ++i) tally(targets[i], results[i]);
   } else {
     // Legacy serial loop on the shared rng stream, one live result at a
-    // time (a dense-context AttackResult holds an n x n adjacency).
+    // time (a dense-context AttackResult holds an n x n adjacency).  The
+    // fault-containment wrapping changes nothing on a clean run: tokens
+    // default disarmed (every Cancelled() poll is false, so the attack
+    // takes identical branches) and rng consumption is untouched, which
+    // keeps the fixed-seed integration pins bit-identical.
+    CancellationToken run_token;
+    run_token.SetDeadlineAfterMs(eval_config.run_deadline_ms);
     for (const PreparedTarget& t : targets) {
-      AttackRequest request{t.node, t.target_label, t.budget};
-      inspect(t, attack.Attack(ctx, request, rng));
+      AttackResult result;
+      if (t.node < 0 || t.node >= ctx.data->num_nodes() || t.target_label < -1 ||
+          t.target_label >= ctx.data->num_classes || t.budget < 0) {
+        result.status = Status::InvalidArgument(
+            "invalid prepared target (node " + std::to_string(t.node) + ")");
+      } else if (run_token.Expired()) {
+        result.status =
+            Status::Skipped("run deadline exceeded before target started");
+      } else {
+        CancellationToken token(&run_token);
+        token.SetDeadlineAfterMs(eval_config.target_deadline_ms);
+        AttackRequest request{t.node, t.target_label, t.budget};
+        request.cancel = &token;
+        try {
+          result = attack.Attack(ctx, request, rng);
+        } catch (const std::exception& e) {
+          result = AttackResult();
+          result.status = Status::Error("target " + std::to_string(t.node) +
+                                        ": " + e.what());
+        } catch (...) {
+          result = AttackResult();
+          result.status =
+              Status::Error("target " + std::to_string(t.node) +
+                            ": unknown exception");
+        }
+      }
+      tally(t, result);
     }
   }
 
@@ -163,7 +218,9 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
   outcome.detection.recall = recall.mean();
   outcome.detection.f1 = f1.mean();
   outcome.detection.ndcg = ndcg.mean();
-  outcome.num_targets = static_cast<int64_t>(targets.size());
+  outcome.num_targets = static_cast<int64_t>(targets.size()) -
+                        outcome.num_failed - outcome.num_timed_out -
+                        outcome.num_skipped;
   if (eval_config.defend) {
     outcome.defense_recovery = recovery.mean();
     outcome.mean_pruned_edges = pruned_count.mean();

@@ -17,6 +17,7 @@
 #define GEATTACK_SRC_EVAL_PIPELINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/attack/attack.h"
@@ -71,11 +72,19 @@ Tensor PerturbedLogits(const AttackContext& ctx, const AttackResult& result,
                        bool sparse, bool f32_values = false);
 
 /// Aggregated outcome of one attacker over a set of prepared targets.
+/// ASR / detection / defense means aggregate ONLY over targets whose attack
+/// finished ok; failed, timed-out and skipped targets are counted below and
+/// excluded from every mean (a crashed target must not drag asr toward 0).
 struct JointAttackOutcome {
   double asr = 0.0;    ///< Fraction flipped to any wrong label.
   double asr_t = 0.0;  ///< Fraction flipped to the specific target label.
   DetectionMetrics detection;  ///< Mean over successfully evaluated targets.
-  int64_t num_targets = 0;
+  int64_t num_targets = 0;  ///< Targets whose attack finished ok.
+  /// Targets whose attack faulted (exception / non-finite blowup) or whose
+  /// request failed validation.
+  int64_t num_failed = 0;
+  int64_t num_timed_out = 0;  ///< Deadline hit mid-attack (partial result).
+  int64_t num_skipped = 0;    ///< Run deadline passed before the target ran.
   // ----- Defense aggregates, populated only when EvalConfig::defend. -----
   /// Fraction of targets whose post-defense prediction returned to the true
   /// label (the paper's recovery notion).
@@ -108,6 +117,17 @@ struct EvalConfig {
   /// attackers that support it.  1 = per-target tasks.  Results are
   /// bit-identical for any value (see AttackDriverConfig::batch_targets).
   int batch_targets = 1;
+  /// Per-target attack deadline in milliseconds (<= 0 = none), honored on
+  /// both the serial loop and the driver (AttackDriverConfig::
+  /// target_deadline_ms).  An expired target keeps its partial picks and is
+  /// counted in num_timed_out instead of the means.
+  double target_deadline_ms = 0.0;
+  /// Whole-run attack-phase deadline in milliseconds (<= 0 = none); targets
+  /// starting after it are counted in num_skipped without running.
+  double run_deadline_ms = 0.0;
+  /// Non-empty enables the driver's checkpoint journal (attack_threads >= 1
+  /// only; see AttackDriverConfig::journal_path).
+  std::string journal_path;
   /// Run the inspector defense (InspectAndPrune, graph-native) on every
   /// attacked target after the explain step and aggregate recovery stats
   /// into the outcome.  Off by default — the §5.1 tables do not defend.

@@ -49,7 +49,9 @@ ProtocolContext MakeProtocolContext(const AttackContext& ctx,
 
 int64_t PredictAtNode(const ProtocolContext& ctx, const Graph& graph,
                       int64_t node) {
-  GEA_CHECK(node >= 0 && node < graph.num_nodes());
+  // Out-of-range nodes are a caller-data problem, not a programmer
+  // invariant: return the documented -1 sentinel instead of aborting.
+  if (node < 0 || node >= graph.num_nodes()) return -1;
   // 2 hops = the GCN depth: the ball forward is exact at the target row.
   const SubgraphView view =
       BuildSubgraphView(graph, node, /*hops=*/2, /*candidates=*/{});

@@ -58,7 +58,8 @@ ProtocolContext MakeProtocolContext(const AttackContext& ctx,
 /// forward: O(|E_ball|·h) instead of a full-graph forward.  Exact w.r.t.
 /// the full forward up to floating-point roundoff (the 2-hop ball carries
 /// true-degree normalization for the 2-layer GCN).  The protocol's cheap
-/// re-predict after edge-list deltas.
+/// re-predict after edge-list deltas.  An out-of-range `node` returns -1
+/// (never a valid label) instead of aborting.
 int64_t PredictAtNode(const ProtocolContext& ctx, const Graph& graph,
                       int64_t node);
 

@@ -1,13 +1,14 @@
 #include "src/graph/io.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <string>
 #include <string_view>
+
+#include "src/graph/io_text.h"
 
 namespace geattack {
 
@@ -16,101 +17,22 @@ namespace {
 constexpr char kDataMagic[] = "geadata v1";
 constexpr char kGcnMagic[] = "geagcn v1";
 
-// ---------------------------------------------------------------------------
-// Bulk text writing.  Formatting through operator<< costs a virtual call and
-// a locale lookup per token; at 1M nodes (tens of millions of tokens) that
-// dominates save time.  Instead, tokens are formatted with snprintf into one
-// append-only buffer that is flushed to the stream in multi-megabyte chunks.
+using textio::AppendDouble;
+using textio::AppendInt;
+using textio::Cursor;
+using textio::FlushChunk;
+using textio::ParseDouble;
+using textio::ParseInt;
+using textio::ParseToken;
+using textio::ReadAll;
 
-void AppendInt(std::string* out, int64_t v) {
-  char tmp[24];
-  const int len =
-      std::snprintf(tmp, sizeof(tmp), "%lld", static_cast<long long>(v));
-  out->append(tmp, static_cast<size_t>(len));
-}
-
-void AppendDouble(std::string* out, double v) {
-  // %.17g round-trips every finite double exactly, so load(save(x)) == x
-  // bit-for-bit (the round-trip tests assert MaxAbsDiff == 0).
-  char tmp[40];
-  const int len = std::snprintf(tmp, sizeof(tmp), "%.17g", v);
-  out->append(tmp, static_cast<size_t>(len));
-}
-
-void FlushChunk(std::string* out, std::ostream& os, size_t threshold) {
-  if (out->size() < threshold) return;
-  os.write(out->data(), static_cast<std::streamsize>(out->size()));
-  out->clear();
-}
-
-// ---------------------------------------------------------------------------
-// Bulk text reading.  The loader slurps the remaining stream once and
-// tokenizes it in place with a char cursor — no per-token stream state, no
-// locale, no istream sentries.  The format is unchanged ("geadata v1").
-
-bool ReadAll(std::istream& is, std::string* buf) {
-  char chunk[1 << 16];
-  while (is.read(chunk, sizeof(chunk)))
-    buf->append(chunk, sizeof(chunk));
-  buf->append(chunk, static_cast<size_t>(is.gcount()));
-  return !buf->empty();
-}
-
-struct Cursor {
-  const char* p;
-  const char* end;
-};
-
-bool IsSpace(char c) {
-  return c == ' ' || c == '\n' || c == '\t' || c == '\r';
-}
-
-void SkipSpace(Cursor* c) {
-  while (c->p < c->end && IsSpace(*c->p)) ++c->p;
-}
-
-bool ParseInt(Cursor* c, int64_t* out) {
-  SkipSpace(c);
-  bool negative = false;
-  if (c->p < c->end && *c->p == '-') {
-    negative = true;
-    ++c->p;
-  }
-  if (c->p >= c->end || *c->p < '0' || *c->p > '9') return false;
-  int64_t v = 0;
-  while (c->p < c->end && *c->p >= '0' && *c->p <= '9') {
-    v = v * 10 + (*c->p - '0');
-    ++c->p;
-  }
-  *out = negative ? -v : v;
-  return true;
-}
-
-bool ParseDouble(Cursor* c, double* out) {
-  SkipSpace(c);
-  if (c->p >= c->end) return false;
-  // The backing buffer is a std::string, so c->end points at a NUL — strtod
-  // cannot run past it.
-  char* after = nullptr;
-  *out = std::strtod(c->p, &after);
-  if (after == c->p || after > c->end) return false;
-  c->p = after;
-  return true;
-}
-
-/// Next whitespace-delimited token, viewed into the buffer (no copy).
-bool ParseToken(Cursor* c, std::string_view* token) {
-  SkipSpace(c);
-  if (c->p >= c->end) return false;
-  const char* start = c->p;
-  while (c->p < c->end && !IsSpace(*c->p)) ++c->p;
-  *token = std::string_view(start, static_cast<size_t>(c->p - start));
-  return true;
+Status Truncated(const char* what) {
+  return Status::DataLoss(std::string("truncated input: missing ") + what);
 }
 
 }  // namespace
 
-bool SaveGraphData(const GraphData& data, std::ostream& os) {
+Status SaveGraphData(const GraphData& data, std::ostream& os) {
   constexpr size_t kFlushThreshold = size_t{1} << 22;  // 4 MiB chunks.
   std::string out;
   out.reserve(kFlushThreshold + 64);
@@ -155,38 +77,47 @@ bool SaveGraphData(const GraphData& data, std::ostream& os) {
   }
   out += "end\n";
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
-  return static_cast<bool>(os);
+  if (!os) return Status::Error("stream write failed");
+  return Status::Ok();
 }
 
-bool LoadGraphData(std::istream& is, GraphData* data) {
+Status LoadGraphData(std::istream& is, GraphData* data) {
   GEA_CHECK(data != nullptr);
   std::string buf;
-  if (!ReadAll(is, &buf)) return false;
+  if (!ReadAll(is, &buf)) return Status::DataLoss("empty input");
   Cursor c{buf.data(), buf.data() + buf.size()};
 
   const char* nl = static_cast<const char*>(
       std::memchr(c.p, '\n', static_cast<size_t>(c.end - c.p)));
   if (nl == nullptr ||
       std::string_view(c.p, static_cast<size_t>(nl - c.p)) != kDataMagic)
-    return false;
+    return Status::DataLoss("bad magic: expected \"geadata v1\" header");
   c.p = nl + 1;
 
   int64_t n = 0, m = 0, classes = 0, d = 0;
   if (!ParseInt(&c, &n) || !ParseInt(&c, &m) || !ParseInt(&c, &classes) ||
       !ParseInt(&c, &d))
-    return false;
-  if (n < 0 || m < 0 || classes <= 0 || d <= 0) return false;
+    return Truncated("count header (nodes edges classes features)");
+  if (n < 0 || m < 0 || classes <= 0 || d <= 0)
+    return Status::DataLoss(
+        "bad counts: nodes/edges must be >= 0, classes/features > 0 (got " +
+        std::to_string(n) + " " + std::to_string(m) + " " +
+        std::to_string(classes) + " " + std::to_string(d) + ")");
   data->graph = Graph(n);
   data->features = Tensor(n, d);
   data->labels.assign(ZU(n), 0);
   data->num_classes = classes;
 
   std::string_view token;
-  if (!ParseToken(&c, &token) || token != "labels") return false;
+  if (!ParseToken(&c, &token) || token != "labels")
+    return Truncated("\"labels\" section");
   for (int64_t i = 0; i < n; ++i) {
-    if (!ParseInt(&c, &data->labels[ZU(i)])) return false;
+    if (!ParseInt(&c, &data->labels[ZU(i)]))
+      return Truncated("label values");
     if (data->labels[ZU(i)] < 0 || data->labels[ZU(i)] >= classes)
-      return false;
+      return Status::DataLoss(
+          "label out of range [0, " + std::to_string(classes) + ") at node " +
+          std::to_string(i) + ": " + std::to_string(data->labels[ZU(i)]));
   }
   bool saw_end = false;
   while (ParseToken(&c, &token)) {
@@ -196,68 +127,137 @@ bool LoadGraphData(std::istream& is, GraphData* data) {
     }
     if (token == "e") {
       int64_t u = 0, v = 0;
-      if (!ParseInt(&c, &u) || !ParseInt(&c, &v)) return false;
-      if (u < 0 || u >= n || v < 0 || v >= n) return false;
-      data->graph.AddEdge(u, v);
+      if (!ParseInt(&c, &u) || !ParseInt(&c, &v))
+        return Truncated("edge endpoints");
+      if (u < 0 || u >= n || v < 0 || v >= n)
+        return Status::DataLoss("edge endpoint out of range [0, " +
+                                std::to_string(n) + "): (" +
+                                std::to_string(u) + ", " + std::to_string(v) +
+                                ")");
+      if (!data->graph.AddEdge(u, v))
+        return Status::DataLoss("self-loop or duplicate edge (" +
+                                std::to_string(u) + ", " + std::to_string(v) +
+                                ")");
     } else if (token == "f") {
       int64_t i = 0, j = 0;
       double value = 0;
       if (!ParseInt(&c, &i) || !ParseInt(&c, &j) || !ParseDouble(&c, &value))
-        return false;
-      if (i < 0 || i >= n || j < 0 || j >= d) return false;
+        return Truncated("feature triple");
+      if (i < 0 || i >= n || j < 0 || j >= d)
+        return Status::DataLoss("feature index out of range: (" +
+                                std::to_string(i) + ", " + std::to_string(j) +
+                                ")");
+      if (!std::isfinite(value))
+        return Status::DataLoss("non-finite feature value at (" +
+                                std::to_string(i) + ", " + std::to_string(j) +
+                                ")");
       data->features.at(i, j) = value;
     } else {
-      return false;
+      return Status::DataLoss("unknown record token \"" + std::string(token) +
+                              "\"");
     }
   }
-  return saw_end && data->graph.num_edges() == m;
+  if (!saw_end) return Truncated("\"end\" marker");
+  if (data->graph.num_edges() != m)
+    return Status::DataLoss("edge count mismatch: header says " +
+                            std::to_string(m) + ", file carries " +
+                            std::to_string(data->graph.num_edges()));
+  return Status::Ok();
 }
 
-bool SaveGraphDataToFile(const GraphData& data, const std::string& path) {
+Status SaveGraphDataToFile(const GraphData& data, const std::string& path) {
   std::ofstream os(path);
-  return os && SaveGraphData(data, os);
+  if (!os) return Status::Error("cannot open for writing: " + path);
+  return SaveGraphData(data, os);
 }
 
-bool LoadGraphDataFromFile(const std::string& path, GraphData* data) {
+Status LoadGraphDataFromFile(const std::string& path, GraphData* data) {
   std::ifstream is(path);
-  return is && LoadGraphData(is, data);
+  if (!is) return Status::Error("cannot open for reading: " + path);
+  return LoadGraphData(is, data);
 }
 
-bool SaveGcn(const Gcn& model, std::ostream& os) {
+Status SaveGcn(const Gcn& model, std::ostream& os) {
+  constexpr size_t kFlushThreshold = size_t{1} << 22;
   const GcnConfig& cfg = model.config();
-  os << kGcnMagic << "\n";
-  os << cfg.in_dim << " " << cfg.hidden_dim << " " << cfg.num_classes << "\n";
-  os.precision(17);
-  for (int64_t i = 0; i < model.w1().size(); ++i) os << model.w1()[i] << "\n";
-  for (int64_t i = 0; i < model.w2().size(); ++i) os << model.w2()[i] << "\n";
-  return static_cast<bool>(os);
+  std::string out;
+  out.reserve(kFlushThreshold + 64);
+  out += kGcnMagic;
+  out += '\n';
+  AppendInt(&out, cfg.in_dim);
+  out += ' ';
+  AppendInt(&out, cfg.hidden_dim);
+  out += ' ';
+  AppendInt(&out, cfg.num_classes);
+  out += '\n';
+  for (int64_t i = 0; i < model.w1().size(); ++i) {
+    AppendDouble(&out, model.w1()[i]);
+    out += '\n';
+    FlushChunk(&out, os, kFlushThreshold);
+  }
+  for (int64_t i = 0; i < model.w2().size(); ++i) {
+    AppendDouble(&out, model.w2()[i]);
+    out += '\n';
+    FlushChunk(&out, os, kFlushThreshold);
+  }
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!os) return Status::Error("stream write failed");
+  return Status::Ok();
 }
 
-bool LoadGcn(std::istream& is, Gcn* model) {
+Status LoadGcn(std::istream& is, Gcn* model) {
   GEA_CHECK(model != nullptr);
-  std::string magic;
-  if (!std::getline(is, magic) || magic != kGcnMagic) return false;
+  std::string buf;
+  if (!ReadAll(is, &buf)) return Status::DataLoss("empty input");
+  Cursor c{buf.data(), buf.data() + buf.size()};
+
+  const char* nl = static_cast<const char*>(
+      std::memchr(c.p, '\n', static_cast<size_t>(c.end - c.p)));
+  if (nl == nullptr ||
+      std::string_view(c.p, static_cast<size_t>(nl - c.p)) != kGcnMagic)
+    return Status::DataLoss("bad magic: expected \"geagcn v1\" header");
+  c.p = nl + 1;
+
   int64_t in = 0, hidden = 0, classes = 0;
-  if (!(is >> in >> hidden >> classes)) return false;
+  if (!ParseInt(&c, &in) || !ParseInt(&c, &hidden) || !ParseInt(&c, &classes))
+    return Truncated("dims header");
   const GcnConfig& cfg = model->config();
   if (in != cfg.in_dim || hidden != cfg.hidden_dim ||
       classes != cfg.num_classes)
-    return false;
-  for (int64_t i = 0; i < model->mutable_w1().size(); ++i)
-    if (!(is >> model->mutable_w1()[i])) return false;
-  for (int64_t i = 0; i < model->mutable_w2().size(); ++i)
-    if (!(is >> model->mutable_w2()[i])) return false;
-  return true;
+    return Status::DataLoss(
+        "architecture mismatch: file is (" + std::to_string(in) + ", " +
+        std::to_string(hidden) + ", " + std::to_string(classes) +
+        "), model is (" + std::to_string(cfg.in_dim) + ", " +
+        std::to_string(cfg.hidden_dim) + ", " +
+        std::to_string(cfg.num_classes) + ")");
+  auto load_weights = [&c](Tensor* w, const char* name) -> Status {
+    for (int64_t i = 0; i < w->size(); ++i) {
+      double value = 0;
+      if (!ParseDouble(&c, &value)) return Truncated(name);
+      if (!std::isfinite(value))
+        return Status::DataLoss(std::string("non-finite weight in ") + name +
+                                " at index " + std::to_string(i));
+      (*w)[i] = value;
+    }
+    return Status::Ok();
+  };
+  if (const Status s = load_weights(&model->mutable_w1(), "W1 values"); !s)
+    return s;
+  if (const Status s = load_weights(&model->mutable_w2(), "W2 values"); !s)
+    return s;
+  return Status::Ok();
 }
 
-bool SaveGcnToFile(const Gcn& model, const std::string& path) {
+Status SaveGcnToFile(const Gcn& model, const std::string& path) {
   std::ofstream os(path);
-  return os && SaveGcn(model, os);
+  if (!os) return Status::Error("cannot open for writing: " + path);
+  return SaveGcn(model, os);
 }
 
-bool LoadGcnFromFile(const std::string& path, Gcn* model) {
+Status LoadGcnFromFile(const std::string& path, Gcn* model) {
   std::ifstream is(path);
-  return is && LoadGcn(is, model);
+  if (!is) return Status::Error("cannot open for reading: " + path);
+  return LoadGcn(is, model);
 }
 
 }  // namespace geattack

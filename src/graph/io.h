@@ -7,6 +7,13 @@
 //   GraphData ("geadata v1"): header line, then labels, edge list, and the
 //   sparse non-zeros of the feature matrix.
 //   Gcn weights ("geagcn v1"): dims header then row-major weight values.
+//
+// Failure semantics: the loaders never trust the bytes.  Malformed input —
+// bad magic, truncated file, bad counts, out-of-range node ids or labels,
+// self-loop/duplicate edges, non-finite features or weights — yields a
+// kDataLoss Status with a specific message instead of UB or an abort, so a
+// service loading a 1M-node artifact can report the file rather than die.
+// `*data` / `*model` are unspecified on failure.
 
 #ifndef GEATTACK_SRC_GRAPH_IO_H_
 #define GEATTACK_SRC_GRAPH_IO_H_
@@ -14,29 +21,30 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/base/status.h"
 #include "src/graph/graph.h"
 #include "src/nn/gcn.h"
 
 namespace geattack {
 
-/// Writes `data` to `os`.  Returns false on stream failure.
-bool SaveGraphData(const GraphData& data, std::ostream& os);
-/// Reads a GraphData written by SaveGraphData.  Returns false on parse or
-/// stream failure; `*data` is unspecified on failure.
-bool LoadGraphData(std::istream& is, GraphData* data);
+/// Writes `data` to `os`.  Fails with kError on stream failure.
+Status SaveGraphData(const GraphData& data, std::ostream& os);
+/// Reads a GraphData written by SaveGraphData (structured errors above).
+Status LoadGraphData(std::istream& is, GraphData* data);
 
-/// File-path convenience wrappers.
-bool SaveGraphDataToFile(const GraphData& data, const std::string& path);
-bool LoadGraphDataFromFile(const std::string& path, GraphData* data);
+/// File-path convenience wrappers; add the path to open-failure messages.
+Status SaveGraphDataToFile(const GraphData& data, const std::string& path);
+Status LoadGraphDataFromFile(const std::string& path, GraphData* data);
 
 /// Writes the trained weights (architecture dims + W1, W2).
-bool SaveGcn(const Gcn& model, std::ostream& os);
+Status SaveGcn(const Gcn& model, std::ostream& os);
 /// Reads weights written by SaveGcn into a freshly constructed model.
-/// Returns false on parse failure or architecture mismatch markers.
-bool LoadGcn(std::istream& is, Gcn* model);
+/// Fails with kDataLoss on parse failure, architecture mismatch, or
+/// non-finite weight values.
+Status LoadGcn(std::istream& is, Gcn* model);
 
-bool SaveGcnToFile(const Gcn& model, const std::string& path);
-bool LoadGcnFromFile(const std::string& path, Gcn* model);
+Status SaveGcnToFile(const Gcn& model, const std::string& path);
+Status LoadGcnFromFile(const std::string& path, Gcn* model);
 
 }  // namespace geattack
 
