@@ -34,6 +34,7 @@
 // unit tests additionally pin identical picks on fixed seeds).  The process
 // exits nonzero if either gate fails, so CI catches drift.
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -45,6 +46,7 @@
 #include <vector>
 
 #include "src/attack/driver.h"
+#include "src/service/attack_service.h"
 #include "src/attack/fault_injection.h"
 #include "src/attack/fga.h"
 #include "src/core/geattack.h"
@@ -248,6 +250,190 @@ double PeakRssMb() {
 }
 
 // ---------------------------------------------------------------------------
+// Service overload section: open-loop arrivals against the bounded-queue
+// AttackService (src/service/attack_service.h) at offered loads of 0.5x /
+// 1x / 2x / 4x the measured closed-loop capacity.  Each row records p50/p99
+// latency, shed/reject counts and goodput — the degradation curve.  The 4x
+// row is an overload burst and is CI-gated: the service must shed (bounded
+// queue doing its job) AND every completed request's picks must be
+// bit-identical to the offline driver over the accepted set in admission
+// order (overload must degrade capacity, never correctness).
+// ---------------------------------------------------------------------------
+
+struct ServiceRow {
+  double multiplier = 0.0;   // Offered load / measured capacity.
+  double offered_tps = 0.0;
+  int64_t submitted = 0;
+  int64_t accepted = 0;
+  int64_t rejected = 0;      // Admission rejects (queue full).
+  int64_t shed = 0;          // Accepted, then shed by the dispatcher.
+  int64_t retried = 0;
+  int64_t completed = 0;
+  double p50_ms = 0.0;       // Admission-to-finalize latency percentiles
+  double p99_ms = 0.0;       // over completed requests.
+  double wall_ms = 0.0;
+  double goodput_tps = 0.0;  // Completed per second of wall clock.
+  bool identical = true;     // Completed picks == offline reference (gate).
+};
+
+struct ServiceSection {
+  int64_t n = 0;
+  double capacity_tps = 0.0;
+  int64_t queue_capacity = 0;
+  int64_t shed_watermark = 0;
+  std::vector<ServiceRow> rows;
+  bool gate_ok = true;  // Stays true when the section is skipped.
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+ServiceSection RunServiceSection(const Scenario& s, bool quick) {
+  ServiceSection section;
+  section.n = s.data.num_nodes();
+  section.queue_capacity = 8;
+  section.shed_watermark = 6;
+  const FgaAttack attack(/*targeted=*/true, /*use_sparse=*/true);
+  const uint64_t base_seed = 7100;
+  const int service_threads = 2;
+
+  // Measured capacity: warm the shared context caches, then time a
+  // closed-loop driver pass over the target pool.  The service cannot beat
+  // its own engine, so offered load is set relative to this.
+  std::vector<AttackRequest> pool;
+  for (const PreparedTarget& t : s.targets)
+    pool.push_back({t.node, t.target_label, t.budget});
+  AttackDriverConfig closed_cfg;
+  closed_cfg.num_threads = service_threads;
+  closed_cfg.base_seed = base_seed;
+  RunMultiTargetAttack(s.ctx, attack, pool, closed_cfg);  // Warmup.
+  const double closed_t0 = NowMs();
+  RunMultiTargetAttack(s.ctx, attack, pool, closed_cfg);
+  const double closed_ms = NowMs() - closed_t0;
+  section.capacity_tps =
+      closed_ms > 0.0
+          ? 1000.0 * static_cast<double>(pool.size()) / closed_ms
+          : 1000.0;
+
+  const int64_t num_requests = quick ? 32 : 64;
+  for (const double multiplier : {0.5, 1.0, 2.0, 4.0}) {
+    AttackServiceConfig cfg;
+    cfg.base_seed = base_seed;
+    cfg.num_threads = service_threads;
+    cfg.queue_capacity = section.queue_capacity;
+    cfg.wave_size = 4;
+    cfg.max_attempts = 2;
+    cfg.retry_backoff_ms = 1.0;
+    cfg.shed_watermark = section.shed_watermark;
+    AttackService service(cfg);
+    GEA_CHECK(service.RegisterGraph("bench", &s.ctx, &attack).ok());
+
+    ServiceRow row;
+    row.multiplier = multiplier;
+    row.offered_tps = multiplier * section.capacity_tps;
+    const double gap_ms =
+        row.offered_tps > 0.0 ? 1000.0 / row.offered_tps : 0.0;
+    // The 4x row is an overload BURST: it front-loads 2x the queue bound
+    // back-to-back (the arrival pattern admission control exists for)
+    // before settling into the sustained rate.  Sub-saturation rows pace
+    // every arrival.
+    const int64_t burst =
+        multiplier >= 4.0 ? 2 * section.queue_capacity : 0;
+
+    std::vector<int64_t> tickets;
+    std::vector<AttackRequest> accepted_requests;  // Admission order.
+    const double wall_t0 = NowMs();
+    double next_submit = wall_t0;
+    for (int64_t i = 0; i < num_requests; ++i) {
+      if (i >= burst) {
+        // Deadline-paced (not sleep-paced): sub-millisecond gaps stay
+        // accurate, so the offered rate is what the row claims.
+        next_submit += gap_ms;
+        while (NowMs() < next_submit) std::this_thread::yield();
+      }
+      const PreparedTarget& t =
+          s.targets[ZU(i) % s.targets.size()];
+      AttackServiceRequest request;
+      request.graph = "bench";
+      request.target_node = t.node;
+      request.target_label = t.target_label;
+      request.budget = t.budget;
+      ++row.submitted;
+      const Admission admission = service.Submit(request);
+      if (admission.status.ok()) {
+        tickets.push_back(admission.ticket);
+        accepted_requests.push_back({t.node, t.target_label, t.budget});
+      } else {
+        ++row.rejected;
+      }
+    }
+    service.Drain();
+    row.wall_ms = NowMs() - wall_t0;
+    const ServiceStats stats = service.stats();
+    row.accepted = stats.accepted;
+    row.shed = stats.shed;
+    row.retried = stats.retried;
+
+    std::vector<ServiceResult> outcomes;
+    outcomes.reserve(tickets.size());
+    for (const int64_t ticket : tickets)
+      outcomes.push_back(service.Take(ticket));
+
+    // Offline reference: the accepted set in admission order under the
+    // same base seed — accepted_index k IS driver position k, so the plain
+    // driver replays every first-attempt stream (see AttemptSeed).
+    const std::vector<AttackResult> reference =
+        RunMultiTargetAttack(s.ctx, attack, accepted_requests, closed_cfg);
+
+    std::vector<double> latencies;
+    for (size_t k = 0; k < outcomes.size(); ++k) {
+      const ServiceResult& r = outcomes[k];
+      if (!r.result.status.ok()) continue;
+      ++row.completed;
+      latencies.push_back(r.latency_ms);
+      if (r.attempts <= 1) {
+        row.identical = row.identical && SameEdges(r.result, reference[k]);
+      } else {
+        // A retried completion ran on its documented per-attempt stream:
+        // replay exactly that recorded seed offline.
+        AttackDriverConfig retry_cfg;
+        retry_cfg.num_threads = 1;
+        retry_cfg.request_seeds = {r.seed};
+        const std::vector<AttackResult> replay = RunMultiTargetAttack(
+            s.ctx, attack, {accepted_requests[k]}, retry_cfg);
+        row.identical = row.identical && SameEdges(r.result, replay[0]);
+      }
+    }
+    row.p50_ms = Percentile(latencies, 0.5);
+    row.p99_ms = Percentile(latencies, 0.99);
+    row.goodput_tps = row.wall_ms > 0.0
+                          ? 1000.0 * static_cast<double>(row.completed) /
+                                row.wall_ms
+                          : 0.0;
+
+    section.gate_ok =
+        section.gate_ok && row.identical && row.completed > 0;
+    if (multiplier >= 4.0)
+      section.gate_ok = section.gate_ok && row.shed > 0;
+    std::cerr << "[bench_attack] service x" << multiplier << ": offered "
+              << row.offered_tps << " tps, completed " << row.completed
+              << ", rejected " << row.rejected << ", shed " << row.shed
+              << ", p50 " << row.p50_ms << " ms, p99 " << row.p99_ms
+              << " ms, identical=" << (row.identical ? "yes" : "NO")
+              << "\n";
+    section.rows.push_back(row);
+  }
+  std::cerr << "[bench_attack] service overload gate: "
+            << (section.gate_ok ? "PASS" : "FAIL") << "\n";
+  return section;
+}
+
+// ---------------------------------------------------------------------------
 // Scaling section: the full §5.1 protocol — attack → explain → defend — at
 // 100k (quick + full) and 1M (full) nodes, sparse end-to-end.  The protocol
 // steps run under a DenseAllocGuard armed at 64·n elements: anything
@@ -429,6 +615,7 @@ int RunHarness(const std::string& json_path, bool quick) {
   std::vector<EquivalenceRow> equivalence;
   std::vector<MultiTargetRow> multi_rows;
   FaultRow fault_row;
+  ServiceSection service_section;
   bool gate_ok = true;
 
   for (int64_t n : sizes) {
@@ -642,6 +829,14 @@ int RunHarness(const std::string& json_path, bool quick) {
                 << ", deadline "
                 << (fault_row.deadline_isolated ? "PASS" : "FAIL") << "\n";
     }
+
+    // ----- Service overload section at the smallest size: open-loop
+    // arrivals, degradation curve, 4x-burst gate (shed > 0, completed
+    // picks identical to the offline driver). -----
+    if (n == sizes.front() && s.targets.size() >= 2) {
+      service_section = RunServiceSection(s, quick);
+      gate_ok = gate_ok && service_section.gate_ok;
+    }
   }
 
   // ----- Scaling: the sparse protocol at 100k (quick + full) and 1M
@@ -724,7 +919,26 @@ int RunHarness(const std::string& json_path, bool quick) {
       << (fault_row.poisoned_isolated ? "true" : "false")
       << ",\"deadline_survivors_identical\":"
       << (fault_row.deadline_isolated ? "true" : "false")
-      << "},\n  \"equivalence\": [\n";
+      << "},\n  \"service\": {\"n\":" << service_section.n
+      << ",\"capacity_targets_per_sec\":" << service_section.capacity_tps
+      << ",\"queue_capacity\":" << service_section.queue_capacity
+      << ",\"shed_watermark\":" << service_section.shed_watermark
+      << ",\"gate\":"
+      << (service_section.gate_ok ? "\"pass\"" : "\"fail\"")
+      << ",\"rows\": [\n";
+  for (size_t i = 0; i < service_section.rows.size(); ++i) {
+    const ServiceRow& r = service_section.rows[i];
+    out << "    {\"multiplier\":" << r.multiplier
+        << ",\"offered_targets_per_sec\":" << r.offered_tps
+        << ",\"submitted\":" << r.submitted << ",\"accepted\":" << r.accepted
+        << ",\"rejected\":" << r.rejected << ",\"shed\":" << r.shed
+        << ",\"retried\":" << r.retried << ",\"completed\":" << r.completed
+        << ",\"p50_ms\":" << r.p50_ms << ",\"p99_ms\":" << r.p99_ms
+        << ",\"goodput_targets_per_sec\":" << r.goodput_tps
+        << ",\"identical\":" << (r.identical ? "true" : "false") << "}"
+        << (i + 1 < service_section.rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]},\n  \"equivalence\": [\n";
   for (size_t i = 0; i < equivalence.size(); ++i) {
     const EquivalenceRow& e = equivalence[i];
     out << "    {\"n\":" << e.n << ",\"attack\":\"" << e.attack

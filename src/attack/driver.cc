@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -150,6 +151,11 @@ std::vector<AttackResult> RunMultiTargetAttack(
   std::vector<AttackResult> results(requests.size());
   if (requests.empty()) return results;
   GEA_CHECK(ctx.data != nullptr);
+  GEA_CHECK(config.request_seeds.empty() ||
+            config.request_seeds.size() == requests.size());
+  // The journal's resume contract binds results to TargetSeed(base_seed, i)
+  // streams; explicit per-request seeds would silently break it.
+  GEA_CHECK(config.request_seeds.empty() || config.journal_path.empty());
   const int64_t num_requests = static_cast<int64_t>(requests.size());
 
   // Malformed requests become kInvalidArgument results without running —
@@ -171,15 +177,35 @@ std::vector<AttackResult> RunMultiTargetAttack(
   if (!config.journal_path.empty()) {
     const JournalLoadResult prior =
         LoadAttackJournal(config.journal_path, config.base_seed, num_requests);
+    // Surfaced corruption (a complete record whose CRC mismatched) is
+    // recoverable here — the dropped targets are simply recomputed — but it
+    // means the storage flipped bits, which the operator should know about.
+    if (!prior.status.ok())
+      std::fprintf(stderr, "geattack: %s\n", prior.status.ToString().c_str());
+    std::vector<int64_t> replayed;
+    replayed.reserve(prior.records.size());
     for (const JournalRecord& record : prior.records) {
       const int64_t i = record.request_index;
       if (done[ZU(i)]) continue;
-      if (RebuildJournaledResult(ctx, record, &results[ZU(i)]))
+      if (RebuildJournaledResult(ctx, record, &results[ZU(i)])) {
         done[ZU(i)] = 1;
+        replayed.push_back(i);
+      }
     }
-    const Status opened =
-        journal.Open(config.journal_path, prior.header_ok ? prior.valid_bytes : 0,
-                     config.base_seed, num_requests);
+    // A legacy (v1) journal replays fine, but appending CRC'd v2 records
+    // under its v1 header would corrupt the next resume — so migrate:
+    // rewrite the file as v2 from scratch, re-appending the replayed
+    // records, then continue as a normal resume.
+    const int64_t resume_offset =
+        (prior.header_ok && !prior.legacy) ? prior.valid_bytes : 0;
+    Status opened = journal.Open(config.journal_path, resume_offset,
+                                 config.base_seed, num_requests);
+    if (opened.ok() && prior.header_ok && prior.legacy) {
+      for (int64_t i : replayed) {
+        opened = journal.Append(i, results[ZU(i)]);
+        if (!opened.ok()) break;
+      }
+    }
     // A configured journal that cannot be written is a setup error, not a
     // per-target fault: fail loudly instead of silently dropping durability.
     if (!opened.ok()) {
@@ -224,10 +250,14 @@ std::vector<AttackResult> RunMultiTargetAttack(
   CancellationToken run_token;
   run_token.SetDeadlineAfterMs(config.run_deadline_ms);
 
+  const auto seed_of = [&](int64_t i) {
+    return config.request_seeds.empty() ? TargetSeed(config.base_seed, i)
+                                        : config.request_seeds[ZU(i)];
+  };
   auto run_one = [&](int64_t i, const CancellationToken* token) {
     AttackRequest request = requests[ZU(i)];
     request.cancel = token;
-    Rng rng(TargetSeed(config.base_seed, i));
+    Rng rng(seed_of(i));
     return attack.Attack(ctx, request, &rng);
   };
   // A per-task fault (exception or non-finite blowup) lands only on its own
@@ -251,52 +281,80 @@ std::vector<AttackResult> RunMultiTargetAttack(
 
   auto run_group = [&](int64_t gi) {
     const std::vector<int64_t>& group = groups[static_cast<size_t>(gi)];
+    auto skip = [&](int64_t i, const char* why) {
+      results[ZU(i)] = AttackResult();
+      results[ZU(i)].status = Status::Skipped(why);
+    };
+    // Members whose caller-provided token (e.g. the attack service's
+    // per-request absolute deadline) already expired are skipped HERE,
+    // before any Rng is constructed or any attack state is touched: the
+    // doomed request consumes nothing, so appending it to a run leaves
+    // every survivor's stream — hence picks — untouched.
+    auto pre_expired = [&](int64_t i) {
+      const CancellationToken* caller = requests[ZU(i)].cancel;
+      return caller != nullptr && caller->Expired();
+    };
+    std::vector<int64_t> live;
+    live.reserve(group.size());
     if (run_token.Expired()) {
       // Task started after the run deadline: nothing was computed, so the
       // targets are skipped (and deliberately NOT journaled — a resumed run
       // with more time should attack them).
-      for (int64_t i : group) {
-        results[ZU(i)] = AttackResult();
-        results[ZU(i)].status =
-            Status::Skipped("run deadline exceeded before target started");
-      }
-    } else if (group.size() == 1) {
-      CancellationToken token(&run_token);
-      token.SetDeadlineAfterMs(config.target_deadline_ms);
-      run_isolated(group[0], &token);
+      for (int64_t i : group)
+        skip(i, "run deadline exceeded before target started");
     } else {
+      for (int64_t i : group) {
+        if (pre_expired(i))
+          skip(i, "deadline expired before target started");
+        else
+          live.push_back(i);
+      }
+    }
+    if (live.size() == 1) {
+      const int64_t i = live[0];
+      CancellationToken token(&run_token, requests[ZU(i)].cancel);
+      token.SetDeadlineAfterMs(config.target_deadline_ms);
+      run_isolated(i, &token);
+    } else if (live.size() > 1) {
       CancellationToken token(&run_token);
       token.SetDeadlineAfterMs(config.target_deadline_ms);
       std::vector<AttackRequest> group_requests;
+      // Each member's effective token chains the group's shared deadline
+      // with the member's own caller token; unique_ptr keeps the addresses
+      // stable behind the request pointers.
+      std::vector<std::unique_ptr<CancellationToken>> member_tokens;
       std::vector<Rng> rngs;
       std::vector<Rng*> rng_ptrs;
-      group_requests.reserve(group.size());
-      rngs.reserve(group.size());
-      for (int64_t i : group) {
+      group_requests.reserve(live.size());
+      member_tokens.reserve(live.size());
+      rngs.reserve(live.size());
+      for (int64_t i : live) {
+        member_tokens.push_back(std::make_unique<CancellationToken>(
+            &token, requests[ZU(i)].cancel));
         group_requests.push_back(requests[static_cast<size_t>(i)]);
-        group_requests.back().cancel = &token;
-        rngs.emplace_back(TargetSeed(config.base_seed, i));
+        group_requests.back().cancel = member_tokens.back().get();
+        rngs.emplace_back(seed_of(i));
       }
       for (Rng& r : rngs) rng_ptrs.push_back(&r);
       bool batch_faulted = false;
       try {
         std::vector<AttackResult> group_results =
             attack.AttackBatch(ctx, group_requests, rng_ptrs);
-        GEA_CHECK(group_results.size() == group.size());
-        for (size_t g = 0; g < group.size(); ++g)
-          results[static_cast<size_t>(group[g])] = std::move(group_results[g]);
+        GEA_CHECK(group_results.size() == live.size());
+        for (size_t g = 0; g < live.size(); ++g)
+          results[static_cast<size_t>(live[g])] = std::move(group_results[g]);
       } catch (...) {
         batch_faulted = true;
       }
       if (batch_faulted) {
         // A fault in the group's shared stacked pass poisons every member's
         // in-flight state, so re-run each member individually with a fresh
-        // TargetSeed stream and a fresh deadline.  The fault lands only on
+        // per-request stream and a fresh deadline.  The fault lands only on
         // the faulty member; survivors recompute their serial-reference
         // picks, which the batched==serial contract guarantees are the
         // picks the batch would have produced.
-        for (int64_t i : group) {
-          CancellationToken member_token(&run_token);
+        for (int64_t i : live) {
+          CancellationToken member_token(&run_token, requests[ZU(i)].cancel);
           member_token.SetDeadlineAfterMs(config.target_deadline_ms);
           run_isolated(i, &member_token);
         }

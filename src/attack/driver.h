@@ -78,6 +78,15 @@ struct AttackDriverConfig {
   /// With batch_targets > 1 the group shares one token, so the deadline
   /// bounds the group's lockstep loop.
   double target_deadline_ms = 0.0;
+  /// When non-empty (must then match requests.size()), request i draws
+  /// from Rng(request_seeds[i]) instead of Rng(TargetSeed(base_seed, i)).
+  /// The attack service uses this to pin each accepted request to the
+  /// stream of its admission order — and each *retry* to a distinct
+  /// documented attempt stream (AttemptSeed) — no matter how requests are
+  /// packed into dispatch waves.  All determinism guarantees are unchanged:
+  /// a request's draws depend only on its own seed, never on scheduling.
+  /// Incompatible with journal_path (the journal binds base_seed streams).
+  std::vector<uint64_t> request_seeds;
   /// Non-empty enables the append-only fsync'd checkpoint journal
   /// (src/attack/journal.h): every completed target is durably recorded,
   /// and a re-run with the same path, requests and base_seed resumes —
@@ -96,7 +105,11 @@ struct AttackDriverConfig {
 ///
 /// Fault containment: requests with an out-of-range target_node /
 /// target_label or a negative budget come back as kInvalidArgument without
-/// running; a per-task exception or non-finite score blowup yields a
+/// running; requests whose caller-provided cancellation token (chained
+/// under the per-target token) is already expired when their task starts
+/// come back as kSkipped *before* any rng stream is consumed — a doomed
+/// request never perturbs a survivor and never burns compute; a per-task
+/// exception or non-finite score blowup yields a
 /// kError result for that target only.  In both cases every other target's
 /// picks are bit-identical to a run without the bad target — per-target
 /// RNG streams mean a failed target cannot perturb a survivor.  When a

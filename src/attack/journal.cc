@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -29,39 +30,81 @@ constexpr int64_t kMaxMessageBytes = int64_t{1} << 20;
 
 bool ValidCode(int64_t code) {
   return code >= static_cast<int64_t>(StatusCode::kOk) &&
-         code <= static_cast<int64_t>(StatusCode::kDataLoss);
+         code <= static_cast<int64_t>(StatusCode::kNotFound);
 }
 
-/// Parses one record at the cursor.  Returns false on a torn or malformed
-/// record (the loader stops there).
-bool ParseRecord(Cursor* c, int64_t num_requests, JournalRecord* out) {
+/// CRC32 (reflected, polynomial 0xEDB88320 — the zlib/PNG one) over a byte
+/// span.  Table built once; static local init is thread-safe.
+uint32_t Crc32(const char* data, size_t len) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xEDB88320u : 0u);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i)
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(data[i])) &
+                             0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Outcome of parsing one record: v1 and v2 records parse the same fields,
+/// but only a complete v2 record whose CRC mismatches is kCorrupt — every
+/// other failure mode is indistinguishable from a torn tail.
+enum class RecordParse { kOk, kTorn, kCorrupt };
+
+/// Parses one record starting exactly at `c->p` (caller skips leading
+/// space so the CRC span starts at the 'r').
+RecordParse ParseRecord(Cursor* c, int64_t num_requests, bool with_crc,
+                        JournalRecord* out) {
+  const char* record_start = c->p;
   std::string_view token;
-  if (!ParseToken(c, &token) || token != "r") return false;
+  if (!ParseToken(c, &token) || token != "r") return RecordParse::kTorn;
   int64_t idx = 0, code = 0, num_edges = 0, msg_len = 0;
   if (!ParseInt(c, &idx) || !ParseInt(c, &code) || !ParseInt(c, &num_edges))
-    return false;
-  if (idx < 0 || idx >= num_requests || !ValidCode(code)) return false;
-  if (num_edges < 0 || num_edges > kMaxEdgesPerRecord) return false;
+    return RecordParse::kTorn;
+  if (idx < 0 || idx >= num_requests || !ValidCode(code))
+    return RecordParse::kTorn;
+  if (num_edges < 0 || num_edges > kMaxEdgesPerRecord)
+    return RecordParse::kTorn;
   out->request_index = idx;
   out->result.added_edges.clear();
   out->result.added_edges.reserve(static_cast<size_t>(num_edges));
   for (int64_t e = 0; e < num_edges; ++e) {
     int64_t u = 0, v = 0;
-    if (!ParseInt(c, &u) || !ParseInt(c, &v)) return false;
+    if (!ParseInt(c, &u) || !ParseInt(c, &v)) return RecordParse::kTorn;
     out->result.added_edges.emplace_back(u, v);
   }
-  if (!ParseInt(c, &msg_len)) return false;
-  if (msg_len < 0 || msg_len > kMaxMessageBytes) return false;
+  if (!ParseInt(c, &msg_len)) return RecordParse::kTorn;
+  if (msg_len < 0 || msg_len > kMaxMessageBytes) return RecordParse::kTorn;
   // Exactly one '\n' separates the length from the raw message bytes.
-  if (c->p >= c->end || *c->p != '\n') return false;
+  if (c->p >= c->end || *c->p != '\n') return RecordParse::kTorn;
   ++c->p;
-  if (c->end - c->p < msg_len) return false;  // Torn mid-message.
+  if (c->end - c->p < msg_len) return RecordParse::kTorn;  // Torn mid-message.
   std::string message(c->p, static_cast<size_t>(msg_len));
   c->p += msg_len;
-  if (!ParseToken(c, &token) || token != ";") return false;
+  const char* payload_end = c->p;  // CRC covers [record_start, here).
+  if (with_crc) {
+    uint64_t stored = 0;
+    if (!ParseToken(c, &token) || token != "c") return RecordParse::kTorn;
+    if (!ParseUint(c, &stored)) return RecordParse::kTorn;
+    if (!ParseToken(c, &token) || token != ";") return RecordParse::kTorn;
+    const uint32_t computed = Crc32(
+        record_start, static_cast<size_t>(payload_end - record_start));
+    // The record is COMPLETE (terminator parsed) but its bytes changed
+    // since it was written: structured corruption, not a torn tail.
+    if (stored != computed) return RecordParse::kCorrupt;
+  } else {
+    if (!ParseToken(c, &token) || token != ";") return RecordParse::kTorn;
+  }
   out->result.status =
       Status::FromCode(static_cast<StatusCode>(code), std::move(message));
-  return true;
+  return RecordParse::kOk;
 }
 
 /// write(2) the whole buffer, retrying on short writes / EINTR.
@@ -95,7 +138,10 @@ JournalLoadResult LoadAttackJournal(const std::string& path,
 
   std::string_view token;
   if (!ParseToken(&c, &token) || token != "geajournal") return loaded;
-  if (!ParseToken(&c, &token) || token != "v1") return loaded;
+  if (!ParseToken(&c, &token) || (token != "v1" && token != "v2"))
+    return loaded;
+  const bool with_crc = (token == "v2");
+  loaded.legacy = !with_crc;
   if (!ParseToken(&c, &token) || token != "meta") return loaded;
   uint64_t seed = 0;
   int64_t count = 0;
@@ -109,7 +155,17 @@ JournalLoadResult LoadAttackJournal(const std::string& path,
 
   JournalRecord record;
   while (c.p < c.end) {
-    if (!ParseRecord(&c, num_requests, &record)) break;  // Torn tail.
+    const RecordParse parse = ParseRecord(&c, num_requests, with_crc, &record);
+    if (parse == RecordParse::kTorn) break;  // Normal kill artifact.
+    if (parse == RecordParse::kCorrupt) {
+      // valid_bytes still points before this record, so the resuming
+      // writer truncates the corrupt tail and the driver recomputes it.
+      loaded.status = Status::DataLoss(
+          "journal record failed CRC check at byte offset " +
+          std::to_string(loaded.valid_bytes) + " of " + path +
+          "; dropping it and everything after it");
+      break;
+    }
     loaded.records.push_back(std::move(record));
     record = JournalRecord();
     textio::SkipSpace(&c);
@@ -136,7 +192,7 @@ Status AttackJournalWriter::Open(const std::string& path,
     return Status::Error(ErrnoMessage("cannot position journal", path));
   }
   if (resume_offset == 0) {
-    std::string header = "geajournal v1\nmeta ";
+    std::string header = "geajournal v2\nmeta ";
     AppendUint(&header, base_seed);
     header += ' ';
     AppendInt(&header, num_requests);
@@ -172,7 +228,12 @@ Status AttackJournalWriter::Append(int64_t request_index,
             static_cast<int64_t>(result.status.message().size()));
   out += '\n';
   out += result.status.message();
-  out += "\n;\n";
+  // CRC32 spans the record bytes written so far — the leading 'r' through
+  // the last message byte — exactly what the loader recomputes over.
+  const uint32_t crc = Crc32(out.data(), out.size());
+  out += "\nc ";
+  AppendUint(&out, crc);
+  out += " ;\n";
   if (!WriteAll(fd_, out)) return Status::Error("journal write failed");
   if (::fsync(fd_) != 0) return Status::Error("journal fsync failed");
   return Status::Ok();

@@ -1,5 +1,5 @@
 // Append-only, fsync'd checkpoint journal for multi-target attack runs
-// ("geajournal v1").
+// ("geajournal v2"; v1 journals still load).
 //
 // The driver appends one record per completed target; a killed run resumes
 // by replaying the journal and attacking only the missing targets.  Because
@@ -9,16 +9,27 @@
 //
 // On-disk format (line-oriented text, reusing src/graph/io_text.h):
 //
-//   geajournal v1
+//   geajournal v2
 //   meta <base_seed> <num_requests>
 //   r <request_index> <status_code> <num_edges> [u v]... <msg_len>
 //   <msg_len raw message bytes>
-//   ;
+//   c <crc32> ;
 //
 // The status message is length-prefixed raw bytes so resumed results carry
-// byte-identical diagnostics.  Records are durable when Append returns
-// (write + fsync); a torn tail (the record being written when the process
-// died) parses as invalid and is truncated away on resume.  A journal whose
+// byte-identical diagnostics.  The v2 `c` line carries a CRC32 (polynomial
+// 0xEDB88320) over the record bytes from the leading 'r' through the end of
+// the message, so a flipped byte inside an otherwise-parseable record —
+// e.g. a silently corrupted edge endpoint that still range-checks — is
+// detected instead of replayed as a wrong-but-plausible result.  v1 records
+// (no `c` line) load without integrity checking for backward compatibility.
+//
+// Records are durable when Append returns (write + fsync); a torn tail
+// (the record being written when the process died) parses as invalid and
+// is truncated away on resume, silently — that is the expected kill
+// artifact.  A *complete* record whose CRC mismatches is different: it is
+// structured data loss, reported in JournalLoadResult::status; replay
+// stops before it and the resuming writer truncates from there, so the
+// corrupt result is recomputed rather than trusted.  A journal whose
 // header or meta line does not match the run (different seed or request
 // count) is ignored and overwritten — it belongs to some other run.
 
@@ -43,8 +54,18 @@ struct JournalRecord {
 };
 
 struct JournalLoadResult {
+  /// Ok, or kDataLoss when a complete v2 record failed its CRC (the record
+  /// and everything after it are dropped from `records`, and valid_bytes
+  /// points before it so the corrupt tail is truncated on resume).  A torn
+  /// tail is NOT data loss — it is the normal kill artifact.
+  Status status;
   /// Magic + meta matched this run's (base_seed, num_requests).
   bool header_ok = false;
+  /// The file was "geajournal v1" (records carry no CRC).  A legacy journal
+  /// replays fine, but the driver must not append v2 records under a v1
+  /// header — it rewrites the file as v2 (header + replayed records) before
+  /// resuming, migrating the journal in place.
+  bool legacy = false;
   /// Byte offset just past the last complete record — the resume offset.
   /// 0 when header_ok is false (the file will be overwritten).
   int64_t valid_bytes = 0;

@@ -16,8 +16,16 @@ const char* StatusCodeName(StatusCode code) {
       return "invalid_argument";
     case StatusCode::kDataLoss:
       return "data_loss";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kNotFound:
+      return "not_found";
   }
   return "unknown";
+}
+
+bool IsRetryableStatus(StatusCode code) {
+  return code == StatusCode::kError || code == StatusCode::kTimedOut;
 }
 
 std::string Status::ToString() const {

@@ -21,7 +21,7 @@
 namespace geattack {
 
 /// Stable outcome codes.  The numeric values are part of the attack-journal
-/// on-disk format ("geajournal v1") — append new codes, never renumber.
+/// on-disk format ("geajournal v1"/"v2") — append new codes, never renumber.
 enum class StatusCode : int64_t {
   kOk = 0,
   kError = 1,            ///< Exception or non-finite blowup inside a task.
@@ -29,10 +29,24 @@ enum class StatusCode : int64_t {
   kSkipped = 3,          ///< Never attempted (e.g. run deadline hit first).
   kInvalidArgument = 4,  ///< Request rejected by validation.
   kDataLoss = 5,         ///< Malformed or truncated input bytes.
+  kResourceExhausted = 6,  ///< Rejected or shed by service overload policy.
+  kNotFound = 7,           ///< Named resource (graph version) not registered.
 };
 
 /// Short stable name of a code ("ok", "error", "timed_out", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Retryability classification used by the attack service's retry policy.
+/// Only kError and kTimedOut are retryable: they can be transient (a
+/// numeric blowup from a racing cosmic-ray of a bug, a deadline that was
+/// too tight under momentary load), and a retry draws from a *distinct*
+/// documented seed stream so the re-run is still deterministic.  Everything
+/// else is final by construction: kInvalidArgument and kNotFound will fail
+/// identically forever, kResourceExhausted must go back through admission
+/// (the caller decides whether the work is still worth queueing), kSkipped
+/// means the deadline is already gone, and kDataLoss needs repair, not
+/// repetition.
+bool IsRetryableStatus(StatusCode code);
 
 /// A lightweight success-or-diagnostic value.  Default-constructed is ok;
 /// failures carry a code plus a human-readable message.  Convertible to
@@ -62,6 +76,12 @@ class Status {
   }
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
   }
   /// Rebuilds a status from its stable code (journal replay).
   static Status FromCode(StatusCode code, std::string message) {
@@ -116,8 +136,13 @@ inline double CheckFiniteScore(double v, const char* what) {
 class CancellationToken {
  public:
   CancellationToken() = default;
-  explicit CancellationToken(const CancellationToken* parent)
-      : parent_(parent) {}
+  /// Chains to up to two parents: the driver uses one slot for the
+  /// whole-run token and the other for a caller-provided per-request token
+  /// (the attack service arms one per submission with the request's
+  /// absolute deadline), so either expiring cancels the target.
+  explicit CancellationToken(const CancellationToken* parent,
+                             const CancellationToken* parent2 = nullptr)
+      : parent_(parent), parent2_(parent2) {}
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 
@@ -135,16 +160,18 @@ class CancellationToken {
 
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// True once Cancel() was called, the armed deadline passed, or the
+  /// True once Cancel() was called, the armed deadline passed, or any
   /// parent expired.
   bool Expired() const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
     if (armed_ && std::chrono::steady_clock::now() >= deadline_) return true;
-    return parent_ != nullptr && parent_->Expired();
+    if (parent_ != nullptr && parent_->Expired()) return true;
+    return parent2_ != nullptr && parent2_->Expired();
   }
 
  private:
   const CancellationToken* parent_ = nullptr;
+  const CancellationToken* parent2_ = nullptr;
   bool armed_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   std::atomic<bool> cancelled_{false};

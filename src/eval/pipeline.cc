@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "src/attack/driver.h"
 #include "src/attack/fga.h"
@@ -81,76 +82,125 @@ std::vector<PreparedTarget> PrepareTargets(const AttackContext& ctx,
   return prepared;
 }
 
+namespace {
+
+/// Shared result-to-outcome aggregation used by both the driver-backed and
+/// the service-backed evaluation entries: inspects ok results (logits,
+/// detection, optional defense) and routes everything else to the failure
+/// tallies.  Only ok results are inspected — a failed result carries no
+/// (or a partial) perturbed graph, and feeding it to the means would let
+/// one crashed target bend every aggregate.
+class OutcomeAggregator {
+ public:
+  OutcomeAggregator(const AttackContext& ctx, const Explainer& explainer,
+                    const EvalConfig& eval_config)
+      : ctx_(ctx),
+        explainer_(explainer),
+        eval_config_(eval_config),
+        pctx_(MakeProtocolContext(ctx, explainer)),
+        // One working graph, patched and restored per target: the
+        // inspect/defend phase never touches `result.adjacency`, so a
+        // sparse context (edge-list results only) runs the full protocol
+        // with nothing n x n in sight.
+        work_(ctx.data->graph) {}
+
+  void Tally(const PreparedTarget& t, const AttackResult& result) {
+    switch (result.status.code()) {
+      case StatusCode::kOk:
+        Inspect(t, result);
+        break;
+      case StatusCode::kTimedOut:
+        ++outcome_.num_timed_out;
+        break;
+      case StatusCode::kSkipped:
+        ++outcome_.num_skipped;
+        break;
+      case StatusCode::kResourceExhausted:
+        ++outcome_.num_shed;
+        break;
+      default:
+        ++outcome_.num_failed;
+        break;
+    }
+  }
+
+  JointAttackOutcome Finish(int64_t total_targets) {
+    outcome_.asr = asr_.mean();
+    outcome_.asr_t = asr_t_.mean();
+    outcome_.detection.precision = precision_.mean();
+    outcome_.detection.recall = recall_.mean();
+    outcome_.detection.f1 = f1_.mean();
+    outcome_.detection.ndcg = ndcg_.mean();
+    outcome_.num_targets = total_targets - outcome_.num_failed -
+                           outcome_.num_timed_out - outcome_.num_skipped -
+                           outcome_.num_shed;
+    if (eval_config_.defend) {
+      outcome_.defense_recovery = recovery_.mean();
+      outcome_.mean_pruned_edges = pruned_count_.mean();
+      outcome_.mean_true_adversarial_pruned = true_pruned_.mean();
+    }
+    return outcome_;
+  }
+
+ private:
+  /// Scores one target's attack outcome (logits, detection, defense) into
+  /// the stats.
+  void Inspect(const PreparedTarget& t, const AttackResult& result) {
+    const Tensor logits = PerturbedLogits(ctx_, result, eval_config_.sparse,
+                                          eval_config_.f32_values);
+    const int64_t predicted = logits.ArgMaxRow(t.node);
+    asr_.Add(predicted != t.true_label ? 1.0 : 0.0);
+    asr_t_.Add(predicted == t.target_label ? 1.0 : 0.0);
+
+    for (const Edge& e : result.added_edges) work_.AddEdge(e.u, e.v);
+
+    // Inspect: explain the model's (post-attack) prediction at the target
+    // and score how visible the adversarial edges are.
+    const Explanation explanation =
+        explainer_.Explain(work_, t.node, predicted);
+    const DetectionMetrics d =
+        ComputeDetection(explanation, result.added_edges,
+                         eval_config_.subgraph_size, eval_config_.k);
+    precision_.Add(d.precision);
+    recall_.Add(d.recall);
+    f1_.Add(d.f1);
+    ndcg_.Add(d.ndcg);
+
+    if (eval_config_.defend) {
+      const DefenseOutcome defense = InspectAndPruneInPlace(
+          pctx_, &work_, t.node, eval_config_.defense, &result.added_edges);
+      recovery_.Add(defense.prediction_after == t.true_label ? 1.0 : 0.0);
+      pruned_count_.Add(static_cast<double>(defense.pruned_edges.size()));
+      true_pruned_.Add(static_cast<double>(defense.true_adversarial_pruned));
+      // Undo the pruning before undoing the attack.
+      for (const Edge& e : defense.pruned_edges) work_.AddEdge(e.u, e.v);
+    }
+
+    for (const Edge& e : result.added_edges) work_.RemoveEdge(e.u, e.v);
+  }
+
+  const AttackContext& ctx_;
+  const Explainer& explainer_;
+  const EvalConfig& eval_config_;
+  const ProtocolContext pctx_;
+  Graph work_;
+  JointAttackOutcome outcome_;
+  RunningStats asr_, asr_t_, precision_, recall_, f1_, ndcg_;
+  RunningStats recovery_, pruned_count_, true_pruned_;
+};
+
+}  // namespace
+
 JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
                                   const TargetedAttack& attack,
                                   const std::vector<PreparedTarget>& targets,
                                   const Explainer& explainer,
                                   const EvalConfig& eval_config, Rng* rng) {
-  JointAttackOutcome outcome;
-  if (targets.empty()) return outcome;
-  RunningStats asr, asr_t, precision, recall, f1, ndcg;
-  RunningStats recovery, pruned_count, true_pruned;
-
-  const ProtocolContext pctx = MakeProtocolContext(ctx, explainer);
-  // One working graph, patched and restored per target: the inspect/defend
-  // phase never touches `result.adjacency`, so a sparse context (edge-list
-  // results only) runs the full protocol with nothing n x n in sight.
-  Graph work = ctx.data->graph;
-
-  // Scores one target's attack outcome (logits, detection, defense) into
-  // the stats.
-  auto inspect = [&](const PreparedTarget& t, const AttackResult& result) {
-    const Tensor logits = PerturbedLogits(ctx, result, eval_config.sparse,
-                                          eval_config.f32_values);
-    const int64_t predicted = logits.ArgMaxRow(t.node);
-    asr.Add(predicted != t.true_label ? 1.0 : 0.0);
-    asr_t.Add(predicted == t.target_label ? 1.0 : 0.0);
-
-    for (const Edge& e : result.added_edges) work.AddEdge(e.u, e.v);
-
-    // Inspect: explain the model's (post-attack) prediction at the target
-    // and score how visible the adversarial edges are.
-    const Explanation explanation = explainer.Explain(work, t.node, predicted);
-    const DetectionMetrics d =
-        ComputeDetection(explanation, result.added_edges,
-                         eval_config.subgraph_size, eval_config.k);
-    precision.Add(d.precision);
-    recall.Add(d.recall);
-    f1.Add(d.f1);
-    ndcg.Add(d.ndcg);
-
-    if (eval_config.defend) {
-      const DefenseOutcome defense = InspectAndPruneInPlace(
-          pctx, &work, t.node, eval_config.defense, &result.added_edges);
-      recovery.Add(defense.prediction_after == t.true_label ? 1.0 : 0.0);
-      pruned_count.Add(static_cast<double>(defense.pruned_edges.size()));
-      true_pruned.Add(static_cast<double>(defense.true_adversarial_pruned));
-      // Undo the pruning before undoing the attack.
-      for (const Edge& e : defense.pruned_edges) work.AddEdge(e.u, e.v);
-    }
-
-    for (const Edge& e : result.added_edges) work.RemoveEdge(e.u, e.v);
-  };
-
-  // Routes one result to the stats or the failure tallies.  Only ok results
-  // are inspected: a failed result carries no (or a partial) perturbed
-  // graph, and feeding it to the means would let one crashed target bend
-  // every aggregate.
-  auto tally = [&](const PreparedTarget& t, const AttackResult& result) {
-    switch (result.status.code()) {
-      case StatusCode::kOk:
-        inspect(t, result);
-        break;
-      case StatusCode::kTimedOut:
-        ++outcome.num_timed_out;
-        break;
-      case StatusCode::kSkipped:
-        ++outcome.num_skipped;
-        break;
-      default:
-        ++outcome.num_failed;
-        break;
-    }
+  if (targets.empty()) return {};
+  OutcomeAggregator aggregate(ctx, explainer, eval_config);
+  auto tally = [&aggregate](const PreparedTarget& t,
+                            const AttackResult& result) {
+    aggregate.Tally(t, result);
   };
 
   if (eval_config.attack_threads >= 1) {
@@ -212,21 +262,56 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
     }
   }
 
-  outcome.asr = asr.mean();
-  outcome.asr_t = asr_t.mean();
-  outcome.detection.precision = precision.mean();
-  outcome.detection.recall = recall.mean();
-  outcome.detection.f1 = f1.mean();
-  outcome.detection.ndcg = ndcg.mean();
-  outcome.num_targets = static_cast<int64_t>(targets.size()) -
-                        outcome.num_failed - outcome.num_timed_out -
-                        outcome.num_skipped;
-  if (eval_config.defend) {
-    outcome.defense_recovery = recovery.mean();
-    outcome.mean_pruned_edges = pruned_count.mean();
-    outcome.mean_true_adversarial_pruned = true_pruned.mean();
+  return aggregate.Finish(static_cast<int64_t>(targets.size()));
+}
+
+JointAttackOutcome EvaluateAttackOnService(
+    const AttackContext& ctx, AttackService* service,
+    const std::string& graph_version,
+    const std::vector<PreparedTarget>& targets, const Explainer& explainer,
+    const EvalConfig& eval_config, double request_deadline_ms,
+    int32_t priority) {
+  GEA_CHECK(service != nullptr);
+  if (targets.empty()) return {};
+  OutcomeAggregator aggregate(ctx, explainer, eval_config);
+
+  // Submit everything up front — the service's bounded queue is sized for
+  // open-loop arrivals, so a patient closed-loop caller waits for the
+  // backlog to drain and retries once instead of treating "queue full" as
+  // terminal.  Anything still rejected after that (or shed later under
+  // overload) comes back as structured kResourceExhausted and lands in
+  // num_shed.
+  std::vector<int64_t> tickets(targets.size(), -1);
+  std::vector<Status> rejections(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    AttackServiceRequest request;
+    request.graph = graph_version;
+    request.target_node = targets[i].node;
+    request.target_label = targets[i].target_label;
+    request.budget = targets[i].budget;
+    request.priority = priority;
+    request.deadline_ms = request_deadline_ms;
+    Admission admission = service->Submit(request);
+    if (admission.status.code() == StatusCode::kResourceExhausted) {
+      service->Drain();
+      admission = service->Submit(request);
+    }
+    if (admission.status.ok())
+      tickets[i] = admission.ticket;
+    else
+      rejections[i] = admission.status;
   }
-  return outcome;
+
+  for (size_t i = 0; i < targets.size(); ++i) {
+    AttackResult result;
+    if (tickets[i] >= 0) {
+      result = std::move(service->Take(tickets[i]).result);
+    } else {
+      result.status = rejections[i];
+    }
+    aggregate.Tally(targets[i], result);
+  }
+  return aggregate.Finish(static_cast<int64_t>(targets.size()));
 }
 
 AttackContext MakeSparseAttackContext(const GraphData& data,

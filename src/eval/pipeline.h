@@ -22,6 +22,7 @@
 
 #include "src/attack/attack.h"
 #include "src/defense/inspector_defense.h"
+#include "src/service/attack_service.h"
 #include "src/eval/metrics.h"
 #include "src/eval/protocol.h"
 #include "src/explain/explanation.h"
@@ -85,6 +86,10 @@ struct JointAttackOutcome {
   int64_t num_failed = 0;
   int64_t num_timed_out = 0;  ///< Deadline hit mid-attack (partial result).
   int64_t num_skipped = 0;    ///< Run deadline passed before the target ran.
+  /// Requests rejected at admission or shed by the attack service's
+  /// overload policy (service-backed evaluation only; structured
+  /// kResourceExhausted outcomes).
+  int64_t num_shed = 0;
   // ----- Defense aggregates, populated only when EvalConfig::defend. -----
   /// Fraction of targets whose post-defense prediction returned to the true
   /// label (the paper's recovery notion).
@@ -149,6 +154,34 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
                                   const std::vector<PreparedTarget>& targets,
                                   const Explainer& explainer,
                                   const EvalConfig& eval_config, Rng* rng);
+
+/// Service-backed twin of EvaluateAttack: submits every prepared target to
+/// `service` against the registered graph `graph_version` (which must have
+/// been registered with `ctx` — the inspect phase reads it directly), takes
+/// each result, and aggregates the same JointAttackOutcome.  Differences
+/// from the driver path:
+///
+///   * admission is bounded — when the service's queue is full the
+///     submission loop waits for it to drain and retries once; a request
+///     still rejected (or shed under overload) lands in num_shed instead
+///     of poisoning the means;
+///   * `request_deadline_ms` / `priority` flow into every submission, so a
+///     whole evaluation can run as low-priority background load against a
+///     service that is also serving interactive callers;
+///   * per-request retry/backoff and degradation are governed by the
+///     service's own config, not EvalConfig (EvalConfig::attack_threads
+///     and the deadline knobs are ignored on this path).
+///
+/// Determinism: targets that complete on their first attempt with an
+/// undegraded budget carry picks bit-identical to EvaluateAttack with
+/// attack_threads >= 1 over the same accepted sequence and base seed (see
+/// AttemptSeed in src/service/attack_service.h).
+JointAttackOutcome EvaluateAttackOnService(
+    const AttackContext& ctx, AttackService* service,
+    const std::string& graph_version,
+    const std::vector<PreparedTarget>& targets, const Explainer& explainer,
+    const EvalConfig& eval_config, double request_deadline_ms = 0.0,
+    int32_t priority = 0);
 
 /// Builds an AttackContext view over `data` and `model`: dense + CSR clean
 /// adjacencies plus the shared normalized clean CSR and degree cache that

@@ -1,0 +1,379 @@
+#include "src/service/attack_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace geattack {
+
+namespace {
+
+std::chrono::steady_clock::time_point AfterMs(
+    std::chrono::steady_clock::time_point from, double ms) {
+  return from + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+uint64_t AttemptSeed(uint64_t base_seed, int64_t accepted_index, int attempt) {
+  GEA_CHECK(attempt >= 0);
+  const uint64_t first = TargetSeed(base_seed, accepted_index);
+  if (attempt == 0) return first;
+  return TargetSeed(first, attempt);
+}
+
+AttackService::AttackService(const AttackServiceConfig& config)
+    : config_(config) {
+  GEA_CHECK(config_.queue_capacity > 0);
+  GEA_CHECK(config_.wave_size > 0);
+  GEA_CHECK(config_.max_attempts >= 1);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+AttackService::~AttackService() {
+  Stop();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Status AttackService::RegisterGraph(const std::string& version,
+                                    const AttackContext* ctx,
+                                    const TargetedAttack* attack) {
+  if (version.empty())
+    return Status::InvalidArgument("graph version name must be non-empty");
+  if (ctx == nullptr || ctx->data == nullptr || attack == nullptr)
+    return Status::InvalidArgument("graph registration needs a context and "
+                                   "an attack");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (graphs_.count(version) != 0)
+    return Status::InvalidArgument("graph version '" + version +
+                                   "' already registered (versions are "
+                                   "immutable — publish a new name)");
+  graphs_[version] = GraphEntry{ctx, attack};
+  return Status::Ok();
+}
+
+Admission AttackService::Submit(const AttackServiceRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (stopping_) {
+    ++stats_.rejected_queue_full;
+    return {Status::ResourceExhausted("service stopping"), -1};
+  }
+  const auto graph_it = graphs_.find(request.graph);
+  if (graph_it == graphs_.end()) {
+    ++stats_.rejected_invalid;
+    return {Status::NotFound("graph version '" + request.graph +
+                             "' not registered"),
+            -1};
+  }
+  const GraphEntry& graph = graph_it->second;
+  const int64_t n = graph.ctx->data->num_nodes();
+  if (request.target_node < 0 || request.target_node >= n ||
+      request.target_label < -1 || request.budget < 0) {
+    ++stats_.rejected_invalid;
+    return {Status::InvalidArgument("bad request: node " +
+                                    std::to_string(request.target_node) +
+                                    " label " +
+                                    std::to_string(request.target_label) +
+                                    " budget " +
+                                    std::to_string(request.budget)),
+            -1};
+  }
+  // Feasibility pre-check: a deadline below the floor cannot finish even on
+  // an idle service — reject now instead of letting it occupy a queue slot
+  // until it expires.  NO rng stream is consumed by a rejection: streams
+  // are keyed by accepted_index, which only advances on acceptance.
+  if (config_.min_feasible_deadline_ms > 0.0 && request.deadline_ms > 0.0 &&
+      request.deadline_ms < config_.min_feasible_deadline_ms) {
+    ++stats_.rejected_infeasible;
+    return {Status::ResourceExhausted(
+                "deadline " + std::to_string(request.deadline_ms) +
+                " ms is below the feasibility floor"),
+            -1};
+  }
+  if (static_cast<int64_t>(pending_.size()) >= config_.queue_capacity) {
+    ++stats_.rejected_queue_full;
+    return {Status::ResourceExhausted("submission queue full"), -1};
+  }
+
+  auto entry = std::make_unique<Entry>();
+  Entry* e = entry.get();
+  e->ticket = next_ticket_++;
+  e->request = request;
+  e->graph = &graph;
+  e->submitted_at = std::chrono::steady_clock::now();
+  e->accepted_index = next_accepted_index_++;
+  e->out.accepted_index = e->accepted_index;
+  e->out.effective_budget = request.budget;
+  if (request.deadline_ms > 0.0) {
+    e->has_deadline = true;
+    e->deadline = AfterMs(std::chrono::steady_clock::now(),
+                          request.deadline_ms);
+    // Armed before the entry becomes visible to the dispatcher (mu_ is
+    // held), so the driver's workers only ever read it.
+    e->token.SetDeadlineAfterMs(request.deadline_ms);
+  }
+  entries_.emplace(e->ticket, std::move(entry));
+  pending_.push_back(e);
+  ++stats_.accepted;
+  stats_.queue_depth = static_cast<int64_t>(pending_.size());
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth,
+                                    stats_.queue_depth);
+  work_cv_.notify_one();
+  return {Status::Ok(), e->ticket};
+}
+
+void AttackService::Cancel(int64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(ticket);
+  if (it == entries_.end()) return;
+  it->second->token.Cancel();
+  // A queued entry finalizes at its next dispatch consideration (the
+  // driver's pre-check turns it into kSkipped without consuming any
+  // stream); wake the dispatcher so that happens promptly.
+  work_cv_.notify_one();
+}
+
+ServiceResult AttackService::Take(int64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = entries_.find(ticket);
+  if (it == entries_.end()) {
+    ServiceResult unknown;
+    unknown.result.status =
+        Status::NotFound("ticket " + std::to_string(ticket) +
+                         " was never issued or was already taken");
+    return unknown;
+  }
+  Entry* e = it->second.get();
+  done_cv_.wait(lock, [e] { return e->state == EntryState::kDone; });
+  ServiceResult out = std::move(e->out);
+  entries_.erase(ticket);
+  return out;
+}
+
+void AttackService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
+}
+
+void AttackService::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopping_ = true;
+  work_cv_.notify_all();
+}
+
+ServiceStats AttackService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats snapshot = stats_;
+  snapshot.queue_depth = static_cast<int64_t>(pending_.size());
+  snapshot.in_flight = in_flight_;
+  return snapshot;
+}
+
+void AttackService::Finalize(Entry* e, AttackResult result) {
+  e->out.result = std::move(result);
+  e->out.latency_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - e->submitted_at)
+                          .count();
+  e->state = EntryState::kDone;
+  switch (e->out.result.status.code()) {
+    case StatusCode::kOk:
+      ++stats_.completed_ok;
+      break;
+    case StatusCode::kTimedOut:
+      ++stats_.timed_out;
+      break;
+    case StatusCode::kSkipped:
+      ++stats_.skipped;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++stats_.shed;
+      break;
+    default:
+      ++stats_.failed;
+      break;
+  }
+}
+
+void AttackService::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (stopping_) break;
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    if (stopping_) {
+      // Queued work is finalized (never silently dropped) so every Take()
+      // unblocks with a structured outcome.
+      for (Entry* e : pending_) {
+        AttackResult r;
+        r.status = Status::ResourceExhausted("service stopping");
+        Finalize(e, std::move(r));
+      }
+      pending_.clear();
+      stats_.queue_depth = 0;
+      done_cv_.notify_all();
+      break;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+
+    // Overload shedding: above the watermark, drop lowest-priority (then
+    // latest-deadline, then youngest) requests down to the watermark.
+    // Shedding is structured — the caller gets kResourceExhausted, and no
+    // rng stream is touched, so the survivors' offline reference is simply
+    // "the accepted set minus the shed tickets".
+    if (config_.shed_watermark > 0) {
+      bool any_shed = false;
+      while (static_cast<int64_t>(pending_.size()) > config_.shed_watermark) {
+        auto victim = std::min_element(
+            pending_.begin(), pending_.end(), [](Entry* a, Entry* b) {
+              if (a->request.priority != b->request.priority)
+                return a->request.priority < b->request.priority;
+              if (a->has_deadline != b->has_deadline)
+                return !a->has_deadline;  // No deadline = most slack.
+              if (a->has_deadline && a->deadline != b->deadline)
+                return a->deadline > b->deadline;
+              return a->accepted_index > b->accepted_index;
+            });
+        Entry* e = *victim;
+        pending_.erase(victim);
+        AttackResult r;
+        r.status = Status::ResourceExhausted(
+            "shed under overload (queue depth above watermark)");
+        Finalize(e, std::move(r));
+        any_shed = true;
+      }
+      if (any_shed) {
+        stats_.queue_depth = static_cast<int64_t>(pending_.size());
+        done_cv_.notify_all();
+      }
+    }
+    if (pending_.empty()) continue;
+
+    // Wave selection: expiring-soonest first (ties by admission order),
+    // restricted to one graph version per wave, skipping entries still in
+    // retry backoff.  Reordering cannot change any result — every
+    // request's draws come from its own AttemptSeed stream.
+    std::vector<Entry*> eligible;
+    eligible.reserve(pending_.size());
+    auto earliest_backoff =
+        std::chrono::steady_clock::time_point::max();
+    for (Entry* e : pending_) {
+      if (e->eligible_at > now) {
+        earliest_backoff = std::min(earliest_backoff, e->eligible_at);
+        continue;
+      }
+      eligible.push_back(e);
+    }
+    if (eligible.empty()) {
+      // Everything queued is backing off: sleep until the earliest retry
+      // becomes eligible (or new work / stop arrives).
+      work_cv_.wait_until(lock, earliest_backoff);
+      continue;
+    }
+    std::sort(eligible.begin(), eligible.end(), [](Entry* a, Entry* b) {
+      if (a->has_deadline != b->has_deadline) return a->has_deadline;
+      if (a->has_deadline && a->deadline != b->deadline)
+        return a->deadline < b->deadline;
+      return a->accepted_index < b->accepted_index;
+    });
+    const GraphEntry* wave_graph = eligible.front()->graph;
+    std::vector<Entry*> wave;
+    for (Entry* e : eligible) {
+      if (e->graph != wave_graph) continue;
+      wave.push_back(e);
+      if (static_cast<int64_t>(wave.size()) >= config_.wave_size) break;
+    }
+
+    // Degradation: while the queue is past the watermark, waves run with a
+    // capped budget and a tighter per-target deadline — everything still
+    // admitted finishes smaller instead of nothing finishing.
+    const bool degraded =
+        config_.degrade_watermark > 0 &&
+        static_cast<int64_t>(pending_.size()) > config_.degrade_watermark;
+    if (degraded) ++stats_.degraded_waves;
+    double wave_deadline_ms = config_.target_deadline_ms;
+    if (degraded && config_.degraded_target_deadline_ms > 0.0)
+      wave_deadline_ms = config_.degraded_target_deadline_ms;
+
+    std::vector<AttackRequest> requests;
+    std::vector<uint64_t> seeds;
+    requests.reserve(wave.size());
+    seeds.reserve(wave.size());
+    for (Entry* e : wave) {
+      pending_.erase(std::find(pending_.begin(), pending_.end(), e));
+      e->state = EntryState::kRunning;
+      int64_t budget = e->request.budget;
+      if (degraded && config_.degraded_budget_cap > 0)
+        budget = std::min(budget, config_.degraded_budget_cap);
+      e->out.effective_budget = budget;
+      AttackRequest r;
+      r.target_node = e->request.target_node;
+      r.target_label = e->request.target_label;
+      r.budget = budget;
+      r.cancel = &e->token;
+      requests.push_back(r);
+      seeds.push_back(
+          AttemptSeed(config_.base_seed, e->accepted_index, e->attempt));
+    }
+    in_flight_ = static_cast<int64_t>(wave.size());
+    stats_.queue_depth = static_cast<int64_t>(pending_.size());
+
+    AttackDriverConfig driver_config;
+    driver_config.num_threads = config_.num_threads;
+    driver_config.batch_targets = config_.batch_targets;
+    driver_config.target_deadline_ms = wave_deadline_ms;
+    driver_config.request_seeds = std::move(seeds);
+
+    const AttackContext* ctx = wave_graph->ctx;
+    const TargetedAttack* attack = wave_graph->attack;
+    lock.unlock();
+    std::vector<AttackResult> results =
+        RunMultiTargetAttack(*ctx, *attack, requests, driver_config);
+    lock.lock();
+
+    const auto finished = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < wave.size(); ++i) {
+      Entry* e = wave[i];
+      AttackResult result = std::move(results[i]);
+      const bool ran = result.status.code() != StatusCode::kSkipped;
+      if (ran) {
+        ++e->attempt;
+        e->out.attempts = e->attempt;
+        e->out.seed =
+            AttemptSeed(config_.base_seed, e->accepted_index, e->attempt - 1);
+      }
+      const bool retry = !stopping_ &&
+                         IsRetryableStatus(result.status.code()) &&
+                         e->attempt < config_.max_attempts &&
+                         !e->token.Expired();
+      if (retry) {
+        // Back off exponentially: retry r waits base * 2^(r-1) after the
+        // failed attempt.  The retry draws from AttemptSeed(base, index,
+        // attempt) — a stream disjoint from every first-attempt stream.
+        const double backoff =
+            config_.retry_backoff_ms *
+            static_cast<double>(int64_t{1} << (e->attempt - 1));
+        e->eligible_at =
+            backoff > 0.0 ? AfterMs(finished, backoff) : finished;
+        e->state = EntryState::kQueued;
+        pending_.push_back(e);
+        ++stats_.retried;
+      } else {
+        Finalize(e, std::move(result));
+      }
+    }
+    in_flight_ = 0;
+    stats_.queue_depth = static_cast<int64_t>(pending_.size());
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, stats_.queue_depth);
+    done_cv_.notify_all();
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace geattack

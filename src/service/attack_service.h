@@ -1,0 +1,284 @@
+// Overload-safe attack service over the fault-contained multi-target driver.
+//
+// The driver (src/attack/driver.h) is a batch engine: give it a request
+// vector and it returns results.  Real evaluation campaigns do not arrive
+// as one tidy vector — targets trickle in from many experiments against
+// many graph snapshots, sometimes faster than the machine can attack them.
+// AttackService is the long-lived front end for that regime:
+//
+//   * a registry of graph versions (context + attacker), so one service
+//     instance serves attacks against several registered snapshots;
+//   * a BOUNDED submission queue with admission control: a full queue or a
+//     deadline that is already infeasible rejects the request *at submit
+//     time* with kResourceExhausted, instead of letting it rot in an
+//     unbounded backlog and time out after wasting queue slots;
+//   * deadline-aware dispatch: queued requests run expiring-soonest first.
+//     Reordering is SAFE here because a request's picks depend only on its
+//     own seed (below), never on what ran before it;
+//   * retry with exponential backoff for transient failures (kError,
+//     kTimedOut — see IsRetryableStatus), each retry drawing from a
+//     distinct documented seed stream;
+//   * graceful degradation under sustained overload: above configurable
+//     queue watermarks the service sheds the lowest-priority requests
+//     (structured kResourceExhausted results, not silent drops) and/or
+//     shrinks the per-target budget and deadline so that everything still
+//     admitted finishes, smaller, instead of nothing finishing at all;
+//   * a ServiceStats health snapshot (accepted / shed / retried /
+//     completed counters, queue depth) cheap enough to poll per scrape.
+//
+// Determinism contract (the reason a service layer can exist at all
+// without breaking the repo's bit-identity invariant):
+//
+//   Every accepted request is assigned a monotonically increasing
+//   accepted_index at admission.  Attempt 0 of request k draws from
+//   Rng(AttemptSeed(base_seed, k, 0)) == Rng(TargetSeed(base_seed, k)) —
+//   exactly the stream the offline driver gives position k.  So for every
+//   request that completes on its first attempt with an undegraded budget,
+//   the picks are bit-identical to RunMultiTargetAttack over the accepted
+//   set in admission order, at ANY thread count, queue bound, wave packing
+//   and arrival order.  Retries must not reuse the attempt-0 stream (a
+//   retry that replayed the same draws after a *transient* fault would
+//   anchor "retry" to "identical failure" for deterministic faults), so
+//   attempt a > 0 draws from the distinct documented stream
+//   AttemptSeed(base, k, a) = TargetSeed(TargetSeed(base, k), a).  The
+//   final attempt number, seed and effective budget are recorded in the
+//   ServiceResult, so ANY completed request — retried or degraded — can be
+//   replayed offline bit-identically by passing the recorded seed and
+//   budget straight to the driver (tests/service_test.cc does exactly
+//   that; bench_attack's overload gate uses the plain admission-order
+//   reference).
+//
+// Threading model: Submit/Cancel/Take/Drain/stats are thread-safe.  One
+// internal dispatcher thread builds waves (same graph version,
+// expiring-soonest first, up to wave_size) and runs each wave through
+// RunMultiTargetAttack with config.num_threads workers; faults stay
+// contained per target by the driver's isolation machinery.
+
+#ifndef GEATTACK_SRC_SERVICE_ATTACK_SERVICE_H_
+#define GEATTACK_SRC_SERVICE_ATTACK_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/attack/attack.h"
+#include "src/attack/driver.h"
+#include "src/base/status.h"
+
+namespace geattack {
+
+/// The per-attempt RNG seed.  Attempt 0 is TargetSeed(base_seed, index) —
+/// the offline driver's stream for position `index` — so un-retried
+/// completions are bit-identical to the offline run for free.  Retries mix
+/// the attempt number through a second TargetSeed application, landing in
+/// streams that are (a) disjoint from every attempt-0 stream and (b) stable
+/// functions of (base_seed, index, attempt), so a retried result is still
+/// exactly reproducible offline.
+uint64_t AttemptSeed(uint64_t base_seed, int64_t accepted_index, int attempt);
+
+struct AttackServiceConfig {
+  /// Base seed of the accepted-index streams (see AttemptSeed).
+  uint64_t base_seed = 0;
+  /// Worker threads handed to the driver per dispatch wave.
+  int num_threads = 1;
+  /// Driver target-group size within a wave (see AttackDriverConfig).
+  int batch_targets = 1;
+  /// Bounded queue: Submit rejects with kResourceExhausted when this many
+  /// requests are already queued (in-flight waves do not count).
+  int64_t queue_capacity = 64;
+  /// Max targets dispatched per wave (one wave = one driver call over
+  /// requests of a single graph version).
+  int64_t wave_size = 8;
+  /// Total attempts per request, first try included (>= 1; 1 = no retry).
+  int max_attempts = 1;
+  /// Base backoff before retry r (1-indexed): retry_backoff_ms * 2^(r-1)
+  /// milliseconds after the failed attempt finished.  0 retries eagerly.
+  double retry_backoff_ms = 0.0;
+  /// Per-target deadline armed by the driver when the target starts
+  /// (<= 0 = none).  Degradation may shrink it (see below).
+  double target_deadline_ms = 0.0;
+  /// Admission feasibility floor: a request submitted with a deadline
+  /// tighter than this is rejected up front with kResourceExhausted — it
+  /// could not finish even on an idle service, so queueing it only steals
+  /// a slot from a request that could.  <= 0 disables the check.
+  double min_feasible_deadline_ms = 0.0;
+  /// Shedding watermark: when the queue is deeper than this, the
+  /// dispatcher shuts out the lowest-priority / latest-deadline requests
+  /// (structured kResourceExhausted results) until the depth is back at
+  /// the watermark.  0 disables shedding (the bounded queue still rejects
+  /// at capacity).
+  int64_t shed_watermark = 0;
+  /// Degradation watermark: waves dispatched while the queue is deeper
+  /// than this run with the degraded budget/deadline below.  0 disables.
+  int64_t degrade_watermark = 0;
+  /// Per-target budget cap applied to degraded waves (> 0 to enable).
+  /// The *effective* budget is recorded in the ServiceResult, so degraded
+  /// completions remain offline-reproducible.
+  int64_t degraded_budget_cap = 0;
+  /// Per-target deadline for degraded waves (> 0 to enable; replaces
+  /// target_deadline_ms for those waves).
+  double degraded_target_deadline_ms = 0.0;
+};
+
+/// One submission.
+struct AttackServiceRequest {
+  /// Registered graph version to attack (see RegisterGraph).
+  std::string graph;
+  int64_t target_node = -1;
+  /// Desired wrong label; -1 = untargeted.
+  int64_t target_label = -1;
+  int64_t budget = 1;
+  /// Shedding priority: LOWER values are shed first under overload.
+  /// Equal-priority ties shed the latest-deadline request first (it has
+  /// the most slack to resubmit).
+  int32_t priority = 0;
+  /// Relative deadline from admission, in milliseconds; <= 0 = none.
+  /// Queue wait counts against it: a request still queued when it expires
+  /// comes back kSkipped without ever consuming its rng stream.
+  double deadline_ms = 0.0;
+};
+
+/// Submit outcome: ok() with a ticket, or a structured rejection
+/// (kResourceExhausted / kNotFound / kInvalidArgument) with ticket -1.
+struct Admission {
+  Status status;
+  int64_t ticket = -1;
+};
+
+/// Final outcome of one accepted request, consumed via Take(ticket).
+struct ServiceResult {
+  AttackResult result;
+  /// Position in the accepted sequence — the offline reference index.
+  int64_t accepted_index = -1;
+  /// Attempts actually run (0 = shed/cancelled before the first attempt).
+  int attempts = 0;
+  /// Seed of the final attempt: AttemptSeed(base, accepted_index,
+  /// attempts - 1) when attempts > 0.
+  uint64_t seed = 0;
+  /// Budget the final attempt ran with (== requested unless degraded).
+  int64_t effective_budget = 0;
+  /// Wall-clock milliseconds from admission to finalization (queue wait +
+  /// attempts + backoff).  The open-loop bench derives p50/p99 from this.
+  double latency_ms = 0.0;
+};
+
+/// Monotonic health counters plus current queue state.  `queue_depth` and
+/// `in_flight` are instantaneous; everything else only ever increases.
+struct ServiceStats {
+  int64_t submitted = 0;
+  int64_t accepted = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_infeasible = 0;
+  int64_t rejected_invalid = 0;   ///< kInvalidArgument / kNotFound rejects.
+  int64_t shed = 0;               ///< Accepted, then shed under overload.
+  int64_t retried = 0;            ///< Re-dispatched attempts (not requests).
+  int64_t completed_ok = 0;
+  int64_t failed = 0;             ///< Final kError / kInvalidArgument.
+  int64_t timed_out = 0;          ///< Final kTimedOut (retries exhausted).
+  int64_t skipped = 0;            ///< Deadline expired before a try ran.
+  int64_t degraded_waves = 0;
+  int64_t queue_depth = 0;
+  int64_t max_queue_depth = 0;
+  int64_t in_flight = 0;
+};
+
+class AttackService {
+ public:
+  explicit AttackService(const AttackServiceConfig& config);
+  ~AttackService();
+  AttackService(const AttackService&) = delete;
+  AttackService& operator=(const AttackService&) = delete;
+
+  /// Registers a graph version.  `ctx` and `attack` are borrowed and must
+  /// outlive the service.  Re-registering a name is an error (versions are
+  /// immutable snapshots — publish a new name instead).
+  Status RegisterGraph(const std::string& version, const AttackContext* ctx,
+                       const TargetedAttack* attack);
+
+  /// Admission control.  Never blocks.  Rejections are structured:
+  /// kNotFound (unregistered graph), kInvalidArgument (bad node / label /
+  /// budget), kResourceExhausted (queue full, or deadline below the
+  /// feasibility floor).
+  Admission Submit(const AttackServiceRequest& request);
+
+  /// Cooperatively cancels a queued or running request.  Queued requests
+  /// finalize as kSkipped without consuming their rng stream; running ones
+  /// stop at the next loop-top poll with kTimedOut partial results.
+  void Cancel(int64_t ticket);
+
+  /// Blocks until `ticket` finishes and consumes its result.  A ticket
+  /// that was never issued (or already taken) returns kNotFound.
+  ServiceResult Take(int64_t ticket);
+
+  /// Blocks until the queue is empty and no wave is in flight.
+  void Drain();
+
+  /// Stops the dispatcher; queued requests finalize as kResourceExhausted
+  /// ("service stopping").  Idempotent; the destructor calls it.
+  void Stop();
+
+  ServiceStats stats() const;
+
+ private:
+  struct GraphEntry {
+    const AttackContext* ctx = nullptr;
+    const TargetedAttack* attack = nullptr;
+  };
+
+  enum class EntryState { kQueued, kRunning, kDone };
+
+  struct Entry {
+    int64_t ticket = -1;
+    AttackServiceRequest request;
+    const GraphEntry* graph = nullptr;
+    int64_t accepted_index = -1;
+    /// Next attempt number to run (0-based).
+    int attempt = 0;
+    /// Earliest dispatch time (backoff); default = immediately.
+    std::chrono::steady_clock::time_point eligible_at{};
+    /// Absolute deadline mirror of `token` for expiring-soonest ordering.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    /// Armed at admission; chained under the driver's per-target token so
+    /// queue wait counts against the request's deadline.
+    CancellationToken token;
+    std::chrono::steady_clock::time_point submitted_at{};
+    EntryState state = EntryState::kQueued;
+    ServiceResult out;
+  };
+
+  /// Dispatcher body: shed, pick a wave, run it, finalize/requeue.
+  void DispatcherLoop();
+  /// Marks `e` done with `result` and updates final-outcome counters.
+  /// Caller holds mu_.
+  void Finalize(Entry* e, AttackResult result);
+
+  const AttackServiceConfig config_;
+
+  // mu_ is the lock itself, not a lazily filled cache: every member it
+  // protects is read and written only under this mutex (const stats()
+  // included). lint-ok: unguarded-mutable (the mutex is the guard)
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Wakes the dispatcher.
+  std::condition_variable done_cv_;   ///< Wakes Take()/Drain() waiters.
+  std::map<std::string, GraphEntry> graphs_;
+  std::map<int64_t, std::unique_ptr<Entry>> entries_;  ///< By ticket.
+  std::vector<Entry*> pending_;       ///< Queued tickets, unordered.
+  int64_t next_ticket_ = 0;
+  int64_t next_accepted_index_ = 0;
+  int64_t in_flight_ = 0;
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace geattack
+
+#endif  // GEATTACK_SRC_SERVICE_ATTACK_SERVICE_H_

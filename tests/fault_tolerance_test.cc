@@ -254,6 +254,56 @@ TEST(DeadlineTest, RunDeadlineSkipsTargetsThatNeverStarted) {
                                                               << i;
 }
 
+TEST(DeadlineTest, PreExpiredCallerTokenSkipsBeforeAnyStreamIsConsumed) {
+  // A request whose caller-provided token is already expired at submission
+  // is doomed: running it would burn compute just to throw the result away.
+  // The driver hands it back kSkipped *before* constructing its Rng or
+  // calling the attack — so a doomed request never perturbs a survivor, at
+  // any thread count and batch grouping.
+  Fixture* f = SharedFixture();
+  ASSERT_GE(f->requests.size(), 3u);
+  const FgaAttack inner(/*targeted=*/true);
+  AttackDriverConfig baseline_config;
+  baseline_config.base_seed = 57;
+  const std::vector<AttackResult> baseline =
+      RunMultiTargetAttack(f->ctx, inner, f->requests, baseline_config);
+
+  const size_t doomed = f->requests.size() / 2;
+  CancellationToken cancelled;
+  cancelled.Cancel();
+  std::vector<AttackRequest> requests = f->requests;
+  requests[doomed].cancel = &cancelled;
+  for (int threads : {1, 2, 4}) {
+    for (int batch : {1, 2}) {
+      AttackDriverConfig config;
+      config.base_seed = 57;
+      config.num_threads = threads;
+      config.batch_targets = batch;
+      FaultInjectingAttack counted(&inner);
+      const std::vector<AttackResult> results =
+          RunMultiTargetAttack(f->ctx, counted, requests, config);
+      const std::string at = "threads=" + std::to_string(threads) +
+                             " batch=" + std::to_string(batch);
+      // Never attempted: the attack itself was not even called for it.
+      EXPECT_EQ(counted.attack_calls(),
+                static_cast<int64_t>(requests.size()) - 1)
+          << at;
+      ASSERT_EQ(results.size(), baseline.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        const std::string where = at + " target " + std::to_string(i);
+        if (i == doomed) {
+          EXPECT_EQ(results[i].status.code(), StatusCode::kSkipped) << where;
+          EXPECT_TRUE(results[i].added_edges.empty()) << where;
+        } else {
+          EXPECT_TRUE(results[i].status.ok())
+              << where << ": " << results[i].status.ToString();
+          ExpectSameEdges(results[i], baseline[i], where);
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint journal: kill-and-resume equals uninterrupted.
 // ---------------------------------------------------------------------------
@@ -306,7 +356,7 @@ TEST(JournalTest, KilledRunResumesToIdenticalResults) {
   const std::string full = ReadFileOrDie(path);
   size_t cut = 0;
   for (int record = 0; record < 2; ++record) {
-    cut = full.find("\n;\n", cut);
+    cut = full.find(" ;\n", cut);
     ASSERT_NE(cut, std::string::npos);
     cut += 3;
   }
@@ -364,6 +414,123 @@ TEST(JournalTest, JournaledFailureReplaysWithoutRecomputing) {
       RunMultiTargetAttack(f->ctx, clean, f->requests, reseeded);
   EXPECT_EQ(clean.attack_calls(), static_cast<int64_t>(f->requests.size()));
   EXPECT_TRUE(third[poisoned].status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, BitFlipInsideCompleteRecordSurfacesAsDataLoss) {
+  // A torn tail is the normal kill artifact and truncates silently; a
+  // *complete* record whose bytes changed after the fsync is different —
+  // the CRC catches it, the load reports structured kDataLoss, and the
+  // resumed run recomputes the dropped targets instead of trusting a
+  // wrong-but-plausible replay.
+  Fixture* f = SharedFixture();
+  ASSERT_GE(f->requests.size(), 3u);
+  const std::string path = testing::TempDir() + "geattack_crc_journal.txt";
+  std::remove(path.c_str());
+  const FgaAttack attack(/*targeted=*/true);
+
+  AttackDriverConfig config;
+  config.base_seed = 81;
+  config.num_threads = 1;  // Deterministic record order: 0, 1, 2, ...
+  config.journal_path = path;
+  const std::vector<AttackResult> uninterrupted =
+      RunMultiTargetAttack(f->ctx, attack, f->requests, config);
+
+  // Flip the request-index digit of the SECOND record ("r 1 ..." -> "r 0
+  // ..."): the record still parses — the index is in range, every field is
+  // well-formed — so only the CRC can tell it was tampered with.
+  std::string text = ReadFileOrDie(path);
+  const size_t first_end = text.find(" ;\n");
+  ASSERT_NE(first_end, std::string::npos);
+  const size_t second = text.find("r 1 ", first_end);
+  ASSERT_NE(second, std::string::npos);
+  text[second + 2] = '0';
+  WriteFileOrDie(path, text);
+
+  const int64_t n = static_cast<int64_t>(f->requests.size());
+  const JournalLoadResult loaded = LoadAttackJournal(path, 81, n);
+  EXPECT_TRUE(loaded.header_ok);
+  EXPECT_EQ(loaded.status.code(), StatusCode::kDataLoss)
+      << loaded.status.ToString();
+  // Replay stops BEFORE the corrupt record: only the first survives, and
+  // the resume offset points at the corrupt tail so it gets truncated.
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].request_index, 0);
+
+  // Resume: everything from the flipped record on is recomputed, and the
+  // merged results converge back to the uninterrupted run byte for byte.
+  FaultInjectingAttack counted(&attack);
+  const std::vector<AttackResult> resumed =
+      RunMultiTargetAttack(f->ctx, counted, f->requests, config);
+  EXPECT_EQ(counted.attack_calls(), n - 1);
+  ExpectSameResults(resumed, uninterrupted);
+
+  // The rewritten journal is whole again: a third run replays everything.
+  FaultInjectingAttack replay(&attack);
+  const std::vector<AttackResult> replayed =
+      RunMultiTargetAttack(f->ctx, replay, f->requests, config);
+  EXPECT_EQ(replay.attack_calls(), 0);
+  ExpectSameResults(replayed, uninterrupted);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, LegacyV1JournalLoadsAndMigratesToV2OnResume) {
+  Fixture* f = SharedFixture();
+  ASSERT_GE(f->requests.size(), 4u);
+  const std::string path = testing::TempDir() + "geattack_v1_journal.txt";
+  std::remove(path.c_str());
+  const FgaAttack attack(/*targeted=*/true);
+
+  AttackDriverConfig config;
+  config.base_seed = 82;
+  config.num_threads = 1;
+  config.journal_path = path;
+  const std::vector<AttackResult> uninterrupted =
+      RunMultiTargetAttack(f->ctx, attack, f->requests, config);
+
+  // Downgrade the file to the v1 format a pre-CRC build would have left
+  // behind: "v1" header, no "c <crc>" trailers — and keep only the first
+  // two records, as if the run was killed mid-way.
+  std::string text = ReadFileOrDie(path);
+  const size_t v2 = text.find("geajournal v2");
+  ASSERT_NE(v2, std::string::npos);
+  text.replace(v2, 13, "geajournal v1");
+  size_t cut = 0;
+  for (int record = 0; record < 2; ++record) {
+    cut = text.find(" ;\n", cut);
+    ASSERT_NE(cut, std::string::npos);
+    cut += 3;
+  }
+  std::string v1_text = text.substr(0, cut);
+  size_t crc_at;
+  while ((crc_at = v1_text.find("\nc ")) != std::string::npos) {
+    const size_t term = v1_text.find(" ;\n", crc_at);
+    ASSERT_NE(term, std::string::npos);
+    v1_text.replace(crc_at, term + 3 - crc_at, "\n;\n");
+  }
+  WriteFileOrDie(path, v1_text);
+
+  const int64_t n = static_cast<int64_t>(f->requests.size());
+  const JournalLoadResult loaded = LoadAttackJournal(path, 82, n);
+  EXPECT_TRUE(loaded.header_ok);
+  EXPECT_TRUE(loaded.legacy);
+  EXPECT_TRUE(loaded.status.ok()) << loaded.status.ToString();
+  EXPECT_EQ(loaded.records.size(), 2u);
+
+  // Resume replays the two v1 records, recomputes the rest, and rewrites
+  // the file as v2 so the CRC protection covers the migrated records too.
+  FaultInjectingAttack counted(&attack);
+  const std::vector<AttackResult> resumed =
+      RunMultiTargetAttack(f->ctx, counted, f->requests, config);
+  EXPECT_EQ(counted.attack_calls(), n - 2);
+  ExpectSameResults(resumed, uninterrupted);
+  EXPECT_EQ(ReadFileOrDie(path).compare(0, 13, "geajournal v2"), 0);
+
+  FaultInjectingAttack replay(&attack);
+  const std::vector<AttackResult> replayed =
+      RunMultiTargetAttack(f->ctx, replay, f->requests, config);
+  EXPECT_EQ(replay.attack_calls(), 0);
+  ExpectSameResults(replayed, uninterrupted);
   std::remove(path.c_str());
 }
 
