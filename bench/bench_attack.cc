@@ -41,8 +41,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/attack/driver.h"
@@ -331,7 +334,13 @@ ServiceSection RunServiceSection(const Scenario& s, bool quick) {
     cfg.retry_backoff_ms = 1.0;
     cfg.shed_watermark = section.shed_watermark;
     AttackService service(cfg);
-    GEA_CHECK(service.RegisterGraph("bench", &s.ctx, &attack).ok());
+    GEA_CHECK(service
+                  .RegisterGraph("bench", s.data, s.model,
+                                 std::shared_ptr<const TargetedAttack>(
+                                     std::shared_ptr<const TargetedAttack>(),
+                                     &attack),
+                                 s.dense_ok)
+                  .ok());
 
     ServiceRow row;
     row.multiplier = multiplier;
@@ -431,6 +440,296 @@ ServiceSection RunServiceSection(const Scenario& s, bool quick) {
   std::cerr << "[bench_attack] service overload gate: "
             << (section.gate_ok ? "PASS" : "FAIL") << "\n";
   return section;
+}
+
+// ---------------------------------------------------------------------------
+// Live-churn section: epoch maintenance cost and correctness under fire.
+// Two measurements at the smallest size:
+//
+//   1. Maintenance micro: building epoch k+1 from epoch k via ApplyChurn
+//      (incremental CSR flip + exact GcnRenormalizeAfterFlips) vs building
+//      the same context from scratch, with a bit-equality gate between the
+//      two — the incremental path must be faster AND byte-identical.
+//   2. Service under churn: submissions interleaved with UpdateGraph
+//      batches; every completed result is replayed offline on a fresh
+//      context built for ITS recorded epoch and must match bit-for-bit
+//      (churn must never blur which graph a result answered for).
+//
+// Both gates roll into the bench's overall equivalence_gate.
+// ---------------------------------------------------------------------------
+
+struct ChurnSection {
+  int64_t n = 0;
+  int64_t batch_edges = 0;
+  int64_t rounds = 0;
+  int64_t ball_hops = -1;        // Invalidation radius (-1 = bump all).
+  double incremental_ms = 0.0;   // Sum of ApplyChurn epoch builds.
+  double full_rebuild_ms = 0.0;  // Sum of from-scratch context builds.
+  double speedup = 0.0;
+  int64_t epochs = 0;
+  int64_t bumped_targets = 0;  // Queued requests re-pinned across the run.
+  int64_t completed = 0;
+  bool gate_ok = true;  // Stays true when the section is skipped.
+};
+
+/// Deterministic churn plan: `rounds` batches of `batch_edges` absent
+/// chords each, scanned in (u, v) order off a working copy so every batch
+/// stays valid after the previous ones applied.
+std::vector<ChurnBatch> PlanChurn(const Graph& graph, int64_t rounds,
+                                  int64_t batch_edges) {
+  Graph work = graph;
+  std::vector<ChurnBatch> plan;
+  int64_t u = 0;
+  int64_t v = 1;
+  for (int64_t r = 0; r < rounds; ++r) {
+    ChurnBatch batch;
+    while (static_cast<int64_t>(batch.added.size()) < batch_edges) {
+      if (v >= work.num_nodes()) {
+        ++u;
+        v = u + 1;
+      }
+      GEA_CHECK(u < work.num_nodes() - 1);
+      if (!work.HasEdge(u, v)) {
+        batch.added.push_back({u, v, 1.0});
+        work.AddEdge(u, v);
+      }
+      ++v;
+    }
+    plan.push_back(std::move(batch));
+  }
+  return plan;
+}
+
+ChurnSection RunChurnSection(const Scenario& s, bool quick) {
+  ChurnSection sec;
+  sec.n = s.data.num_nodes();
+  sec.batch_edges = quick ? 8 : 16;
+  sec.rounds = quick ? 3 : 6;
+  const FgaAttack attack(/*targeted=*/true, /*use_sparse=*/true);
+  const uint64_t base_seed = 7300;
+
+  const std::vector<ChurnBatch> plan =
+      PlanChurn(s.data.graph, sec.rounds, sec.batch_edges);
+
+  // Epoch-k graphs, for the rebuild baseline and the per-epoch replay gate.
+  std::vector<GraphData> epoch_data;
+  epoch_data.push_back(s.data);
+  for (const ChurnBatch& batch : plan) {
+    GraphData next = epoch_data.back();
+    for (const ChurnEdge& e : batch.added) next.graph.AddEdge(e.u, e.v);
+    epoch_data.push_back(std::move(next));
+  }
+  const auto fresh_ctx = [&](int64_t epoch) {
+    return s.dense_ok
+               ? MakeAttackContext(epoch_data[ZU(epoch)], s.model)
+               : MakeSparseAttackContext(epoch_data[ZU(epoch)], s.model);
+  };
+
+  // ----- Maintenance micro: incremental epoch vs from-scratch rebuild. ----
+  auto snap = MakeGraphSnapshot(
+      "bench", s.data, s.model,
+      std::shared_ptr<const TargetedAttack>(
+          std::shared_ptr<const TargetedAttack>(), &attack),
+      s.dense_ok);
+  for (int64_t r = 0; r < sec.rounds; ++r) {
+    double t0 = NowMs();
+    snap = ApplyChurn(snap, plan[ZU(r)]);
+    sec.incremental_ms += NowMs() - t0;
+    // Service-equivalent full rebuild: a snapshot owns its data, so the
+    // baseline pays the same copy-then-flip ApplyChurn pays, then builds
+    // the whole context from scratch instead of incrementally.
+    t0 = NowMs();
+    GraphData rebuilt = epoch_data[ZU(r)];
+    for (const ChurnEdge& e : plan[ZU(r)].added)
+      rebuilt.graph.AddEdge(e.u, e.v);
+    for (const ChurnEdge& e : plan[ZU(r)].removed)
+      rebuilt.graph.RemoveEdge(e.u, e.v);
+    const AttackContext fresh =
+        s.dense_ok ? MakeAttackContext(rebuilt, s.model)
+                   : MakeSparseAttackContext(rebuilt, s.model);
+    sec.full_rebuild_ms += NowMs() - t0;
+    // The maintenance contract, re-checked at bench scale: the incremental
+    // epoch is bit-identical to the fresh build (values AND structure).
+    sec.gate_ok =
+        sec.gate_ok &&
+        snap->ctx.clean_norm_csr.values() == fresh.clean_norm_csr.values() &&
+        snap->ctx.clean_csr.pattern()->col_idx ==
+            fresh.clean_csr.pattern()->col_idx;
+  }
+  sec.epochs = snap->epoch;
+  sec.speedup = sec.incremental_ms > 0.0
+                    ? sec.full_rebuild_ms / sec.incremental_ms
+                    : 0.0;
+
+  // ----- The service under fire: submit, churn, repeat; per-epoch gate. ---
+  AttackServiceConfig cfg;
+  cfg.base_seed = base_seed;
+  cfg.num_threads = 2;
+  cfg.wave_size = 2;
+  cfg.queue_capacity = 64;
+  sec.ball_hops = cfg.churn_ball_hops;
+  AttackService service(cfg);
+  GEA_CHECK(service
+                .RegisterGraph("bench", s.data, s.model,
+                               std::shared_ptr<const TargetedAttack>(
+                                   std::shared_ptr<const TargetedAttack>(),
+                                   &attack),
+                               s.dense_ok)
+                .ok());
+
+  const int64_t per_round = quick ? 4 : 8;
+  std::vector<int64_t> tickets;
+  std::vector<AttackRequest> submitted;
+  for (int64_t r = 0; r < sec.rounds; ++r) {
+    for (int64_t i = 0; i < per_round; ++i) {
+      const PreparedTarget& t =
+          s.targets[ZU(r * per_round + i) % s.targets.size()];
+      AttackServiceRequest request;
+      request.graph = "bench";
+      request.target_node = t.node;
+      request.target_label = t.target_label;
+      request.budget = t.budget;
+      const Admission admission = service.Submit(request);
+      GEA_CHECK(admission.status.ok());
+      tickets.push_back(admission.ticket);
+      submitted.push_back({t.node, t.target_label, t.budget});
+    }
+    const ChurnResult cr = service.UpdateGraph("bench", plan[ZU(r)]);
+    GEA_CHECK(cr.status.ok());
+    sec.bumped_targets += cr.requeued;
+  }
+  service.Drain();
+
+  std::map<int64_t, AttackContext> epoch_ctx;
+  for (size_t k = 0; k < tickets.size(); ++k) {
+    const ServiceResult r = service.Take(tickets[k]);
+    if (!r.result.status.ok()) {
+      sec.gate_ok = false;
+      continue;
+    }
+    ++sec.completed;
+    auto it = epoch_ctx.find(r.epoch);
+    if (it == epoch_ctx.end())
+      it = epoch_ctx.emplace(r.epoch, fresh_ctx(r.epoch)).first;
+    // Replay the recorded final-attempt seed on a fresh context built for
+    // the result's epoch: picks must match bit-for-bit.
+    AttackDriverConfig replay_cfg;
+    replay_cfg.num_threads = 1;
+    replay_cfg.request_seeds = {r.seed};
+    const std::vector<AttackResult> replay =
+        RunMultiTargetAttack(it->second, attack, {submitted[k]}, replay_cfg);
+    sec.gate_ok = sec.gate_ok && SameEdges(r.result, replay[0]);
+  }
+  std::cerr << "[bench_attack] churn: " << sec.rounds << " x "
+            << sec.batch_edges << "-edge batches, incremental "
+            << sec.incremental_ms << " ms vs rebuild " << sec.full_rebuild_ms
+            << " ms (x" << sec.speedup << "), bumped " << sec.bumped_targets
+            << " queued targets, per-epoch replay gate "
+            << (sec.gate_ok ? "PASS" : "FAIL") << "\n";
+  return sec;
+}
+
+// ---------------------------------------------------------------------------
+// Hidden crash-recovery child (driven by tools/crash_harness.py): a
+// deterministic submit → drain → churn script over a WAL-journaled service.
+// The harness SIGKILLs this process at random points and relaunches it;
+// every relaunch recovers from the journal, skips the already-durable
+// prefix of the script, and runs only the remainder — so the published
+// result file must be byte-identical to an uninterrupted run no matter
+// where the kill landed.  Output is published atomically (tmp + rename):
+// the harness never reads a torn file.
+// ---------------------------------------------------------------------------
+
+int RunCrashChild(const std::string& journal_path,
+                  const std::string& out_path, uint64_t seed) {
+  Scenario s = MakeScenario(160, /*dense_ok=*/false, /*feature_dim=*/32,
+                            /*budget_cap=*/2, /*num_targets=*/6);
+  GEA_CHECK(s.targets.size() >= 4);
+  const size_t num_targets = s.targets.size();
+  const FgaAttack attack(/*targeted=*/true, /*use_sparse=*/true);
+
+  AttackServiceConfig cfg;
+  cfg.base_seed = seed;
+  cfg.num_threads = 1;
+  cfg.wave_size = 2;
+  cfg.queue_capacity = 64;
+  cfg.max_attempts = 1;  // The byte-identity scope: no retries, no
+                         // deadlines, no shedding (no clock bits).
+  cfg.journal_path = journal_path;
+  AttackService service(cfg);
+  GEA_CHECK(service
+                .RegisterGraph("g", s.data, s.model,
+                               std::shared_ptr<const TargetedAttack>(
+                                   std::shared_ptr<const TargetedAttack>(),
+                                   &attack),
+                               /*dense_context=*/false)
+                .ok());
+  const RecoveryReport rep = service.Recover();
+  GEA_CHECK(rep.status.ok());
+  // Every admission and every churn batch is fsync'd before its call
+  // returns, so the durable prefix of the script is exactly what the WAL
+  // says happened: skip it and run the rest.
+  const size_t done_submits =
+      rep.completed_tickets.size() + rep.pending_tickets.size();
+  const int64_t done_churns = rep.churn_batches;
+
+  const std::vector<ChurnBatch> plan = PlanChurn(s.data.graph, 2, 3);
+
+  size_t next_submit = 0;
+  int64_t next_churn = 0;
+  const auto submit_step = [&] {
+    const size_t i = next_submit++;
+    if (i < done_submits) return;  // Durably admitted before the crash.
+    const PreparedTarget& t = s.targets[i % s.targets.size()];
+    AttackServiceRequest request;
+    request.graph = "g";
+    request.target_node = t.node;
+    request.target_label = t.target_label;
+    request.budget = t.budget;
+    const Admission admission = service.Submit(request);
+    GEA_CHECK(admission.status.ok());
+    GEA_CHECK(admission.ticket == static_cast<int64_t>(i));
+  };
+  const auto churn_step = [&] {
+    const int64_t j = next_churn++;
+    if (j < done_churns) return;  // Epoch already rebuilt from the WAL.
+    const ChurnResult cr = service.UpdateGraph("g", plan[ZU(j)]);
+    GEA_CHECK(cr.status.ok());
+  };
+
+  // The script: half the targets on epoch 0, churn, the rest on epoch 1,
+  // churn again so recovery must also restore a trailing epoch nobody
+  // computed on.
+  const size_t half = num_targets / 2;
+  for (size_t i = 0; i < half; ++i) submit_step();
+  service.Drain();
+  churn_step();
+  for (size_t i = half; i < num_targets; ++i) submit_step();
+  service.Drain();
+  churn_step();
+  service.Drain();
+
+  const std::string tmp_path = out_path + ".crash_tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    GEA_CHECK(out.good());
+    for (size_t i = 0; i < num_targets; ++i) {
+      const ServiceResult r = service.Take(static_cast<int64_t>(i));
+      out << i << ' ' << r.accepted_index << ' ' << r.attempts << ' '
+          << r.seed << ' ' << r.effective_budget << ' ' << r.epoch << ' '
+          << static_cast<int>(r.result.status.code()) << ' '
+          << r.result.added_edges.size();
+      for (const Edge& e : r.result.added_edges)
+        out << ' ' << e.u << ' ' << e.v;
+      out << '\n';
+    }
+    GEA_CHECK(out.good());
+  }
+  GEA_CHECK(std::rename(tmp_path.c_str(), out_path.c_str()) == 0);
+  std::cerr << "[bench_attack] crash child: " << num_targets
+            << " tickets published (" << done_submits << " submits, "
+            << done_churns << " churns recovered)\n";
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -616,6 +915,7 @@ int RunHarness(const std::string& json_path, bool quick) {
   std::vector<MultiTargetRow> multi_rows;
   FaultRow fault_row;
   ServiceSection service_section;
+  ChurnSection churn_section;
   bool gate_ok = true;
 
   for (int64_t n : sizes) {
@@ -836,6 +1136,11 @@ int RunHarness(const std::string& json_path, bool quick) {
     if (n == sizes.front() && s.targets.size() >= 2) {
       service_section = RunServiceSection(s, quick);
       gate_ok = gate_ok && service_section.gate_ok;
+
+      // ----- Live-churn section: epoch maintenance micro + service under
+      // interleaved churn, per-epoch bit-identity gates. -----
+      churn_section = RunChurnSection(s, quick);
+      gate_ok = gate_ok && churn_section.gate_ok;
     }
   }
 
@@ -938,7 +1243,18 @@ int RunHarness(const std::string& json_path, bool quick) {
         << ",\"identical\":" << (r.identical ? "true" : "false") << "}"
         << (i + 1 < service_section.rows.size() ? "," : "") << "\n";
   }
-  out << "  ]},\n  \"equivalence\": [\n";
+  out << "  ]},\n  \"churn\": {\"n\":" << churn_section.n
+      << ",\"batch_edges\":" << churn_section.batch_edges
+      << ",\"rounds\":" << churn_section.rounds
+      << ",\"churn_ball_hops\":" << churn_section.ball_hops
+      << ",\"incremental_ms\":" << churn_section.incremental_ms
+      << ",\"full_rebuild_ms\":" << churn_section.full_rebuild_ms
+      << ",\"speedup\":" << churn_section.speedup
+      << ",\"epochs\":" << churn_section.epochs
+      << ",\"bumped_targets\":" << churn_section.bumped_targets
+      << ",\"completed\":" << churn_section.completed << ",\"gate\":"
+      << (churn_section.gate_ok ? "\"pass\"" : "\"fail\"")
+      << "},\n  \"equivalence\": [\n";
   for (size_t i = 0; i < equivalence.size(); ++i) {
     const EquivalenceRow& e = equivalence[i];
     out << "    {\"n\":" << e.n << ",\"attack\":\"" << e.attack
@@ -977,16 +1293,35 @@ int RunHarness(const std::string& json_path, bool quick) {
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_attack.json";
   bool quick = false;
+  bool crash_child = false;
+  std::string journal_path;
+  std::string out_path;
+  uint64_t crash_seed = 1234;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--crash-child") {
+      crash_child = true;
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      journal_path = arg.substr(10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      crash_seed = std::strtoull(arg.substr(7).c_str(), nullptr, 10);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
     }
+  }
+  if (crash_child) {
+    if (journal_path.empty() || out_path.empty()) {
+      std::cerr << "--crash-child requires --journal=PATH and --out=PATH\n";
+      return 2;
+    }
+    return geattack::RunCrashChild(journal_path, out_path, crash_seed);
   }
   return geattack::RunHarness(json_path, quick);
 }

@@ -192,20 +192,33 @@ std::vector<AttackResult> RunMultiTargetAttack(
         replayed.push_back(i);
       }
     }
-    // A legacy (v1) journal replays fine, but appending CRC'd v2 records
-    // under its v1 header would corrupt the next resume — so migrate:
-    // rewrite the file as v2 from scratch, re-appending the replayed
-    // records, then continue as a normal resume.
-    const int64_t resume_offset =
+    // A legacy (v1) journal replays fine, but appending CRC'd records
+    // under its v1 header would corrupt the next resume — so migrate
+    // ATOMICALLY: RewriteJournal writes a v3 twin holding the replayed
+    // records to a tmp file and rename(2)s it over the v1 original, so a
+    // kill at any point mid-migration leaves either the loadable v1 or
+    // the complete v3, never a half-rewritten hybrid.  (A v2 journal
+    // needs no rewrite — `r` records are grammar-identical under both
+    // headers — so it resumes in place.)
+    int64_t resume_offset =
         (prior.header_ok && !prior.legacy) ? prior.valid_bytes : 0;
-    Status opened = journal.Open(config.journal_path, resume_offset,
-                                 config.base_seed, num_requests);
-    if (opened.ok() && prior.header_ok && prior.legacy) {
+    Status opened = Status::Ok();
+    if (prior.header_ok && prior.legacy) {
+      std::vector<JournalRecord> migrated;
+      migrated.reserve(replayed.size());
       for (int64_t i : replayed) {
-        opened = journal.Append(i, results[ZU(i)]);
-        if (!opened.ok()) break;
+        JournalRecord record;
+        record.request_index = i;
+        record.result.added_edges = results[ZU(i)].added_edges;
+        record.result.status = results[ZU(i)].status;
+        migrated.push_back(std::move(record));
       }
+      opened = RewriteJournal(config.journal_path, config.base_seed,
+                              num_requests, migrated, &resume_offset);
     }
+    if (opened.ok())
+      opened = journal.Open(config.journal_path, resume_offset,
+                            config.base_seed, num_requests);
     // A configured journal that cannot be written is a setup error, not a
     // per-target fault: fail loudly instead of silently dropping durability.
     if (!opened.ok()) {

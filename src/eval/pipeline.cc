@@ -302,16 +302,28 @@ JointAttackOutcome EvaluateAttackOnService(
       rejections[i] = admission.status;
   }
 
+  // Staleness is judged against the epoch current at COLLECTION time: a
+  // caller churning the graph while this evaluation runs sees exactly how
+  // many results predate the newest epoch (they are still exact for their
+  // own pinned epoch, so they aggregate normally).
+  int64_t num_stale = 0;
   for (size_t i = 0; i < targets.size(); ++i) {
     AttackResult result;
     if (tickets[i] >= 0) {
-      result = std::move(service->Take(tickets[i]).result);
+      ServiceResult taken = service->Take(tickets[i]);
+      if (taken.epoch >= 0 &&
+          taken.epoch != service->CurrentEpoch(graph_version))
+        ++num_stale;
+      result = std::move(taken.result);
     } else {
       result.status = rejections[i];
     }
     aggregate.Tally(targets[i], result);
   }
-  return aggregate.Finish(static_cast<int64_t>(targets.size()));
+  JointAttackOutcome outcome =
+      aggregate.Finish(static_cast<int64_t>(targets.size()));
+  outcome.num_stale = num_stale;
+  return outcome;
 }
 
 AttackContext MakeSparseAttackContext(const GraphData& data,

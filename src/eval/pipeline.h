@@ -90,6 +90,12 @@ struct JointAttackOutcome {
   /// overload policy (service-backed evaluation only; structured
   /// kResourceExhausted outcomes).
   int64_t num_shed = 0;
+  /// Results computed at a snapshot epoch older than the graph's current
+  /// epoch at collection time (service-backed evaluation under live churn
+  /// only).  Stale results are still exact for THEIR epoch and are
+  /// aggregated normally — this counter just surfaces how much of the
+  /// evaluation predates the newest churn.
+  int64_t num_stale = 0;
   // ----- Defense aggregates, populated only when EvalConfig::defend. -----
   /// Fraction of targets whose post-defense prediction returned to the true
   /// label (the paper's recovery notion).
@@ -157,9 +163,12 @@ JointAttackOutcome EvaluateAttack(const AttackContext& ctx,
 
 /// Service-backed twin of EvaluateAttack: submits every prepared target to
 /// `service` against the registered graph `graph_version` (which must have
-/// been registered with `ctx` — the inspect phase reads it directly), takes
-/// each result, and aggregates the same JointAttackOutcome.  Differences
-/// from the driver path:
+/// been registered from the same data and model as `ctx` — the inspect
+/// phase reads `ctx` directly), takes each result, and aggregates the same
+/// JointAttackOutcome.  Under live churn, results whose snapshot epoch is
+/// older than the version's current epoch at collection time are counted
+/// in num_stale (and still aggregated — they are exact for their epoch).
+/// Differences from the driver path:
 ///
 ///   * admission is bounded — when the service's queue is full the
 ///     submission loop waits for it to drain and retries once; a request

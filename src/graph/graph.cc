@@ -327,4 +327,60 @@ CsrMatrix GcnRenormalizeAfterAdds(const CsrMatrix& norm_adjacency,
   return out;
 }
 
+CsrMatrix GcnRenormalizeAfterFlips(const CsrMatrix& norm_adjacency,
+                                   const Tensor& degp1,
+                                   const std::vector<Edge>& added,
+                                   const std::vector<Edge>& removed) {
+  GEA_CHECK(!norm_adjacency.empty());
+  GEA_CHECK(norm_adjacency.rows() == norm_adjacency.cols());
+  const int64_t n = norm_adjacency.rows();
+  GEA_CHECK(degp1.rows() == n && degp1.cols() == 1);
+  if (added.empty() && removed.empty()) return norm_adjacency;
+
+  std::vector<int64_t> delta(ZU(n), 0);
+  for (const Edge& e : added) {
+    ++delta[ZU(e.u)];
+    ++delta[ZU(e.v)];
+  }
+  for (const Edge& e : removed) {
+    --delta[ZU(e.u)];
+    --delta[ZU(e.v)];
+  }
+
+  // New d̃^{-1/2} for every node.  Integer-valued doubles: degp1 + delta is
+  // exact, so untouched nodes reproduce their old dinv bit-for-bit and
+  // touched nodes get exactly what GcnNormalizeCsr would compute.
+  std::vector<double> dinv(ZU(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = degp1.at(i, 0) + static_cast<double>(delta[ZU(i)]);
+    GEA_CHECK(d >= 1.0);  // Removals may not take a node below its self loop.
+    dinv[ZU(i)] = 1.0 / std::sqrt(d);
+  }
+
+  // Merge the pattern (removals drop entries, adds insert them; Ã's pattern
+  // is A + I, and flips are off-diagonal, so this lands exactly on the
+  // churned graph's A' + I pattern), then recompute all touched values.
+  CsrMatrix out = ApplyEdgeFlips(norm_adjacency, added, removed);
+  const CsrPattern& p = *out.pattern();
+  std::vector<double>& val = out.mutable_values();
+  auto entry_of = [&p](int64_t r, int64_t c) {
+    const int64_t lo = p.row_ptr[ZU(r)], hi = p.row_ptr[ZU(r + 1)];
+    const auto it = std::lower_bound(p.col_idx.begin() + lo,
+                                     p.col_idx.begin() + hi, c);
+    GEA_CHECK(it != p.col_idx.begin() + hi && *it == c);
+    return static_cast<int64_t>(it - p.col_idx.begin());
+  };
+  for (int64_t i = 0; i < n; ++i) {
+    if (delta[ZU(i)] == 0) continue;
+    const double di = dinv[ZU(i)];
+    for (int64_t e = p.row_ptr[ZU(i)]; e < p.row_ptr[ZU(i + 1)]; ++e) {
+      const int64_t j = p.col_idx[ZU(e)];
+      const double v = di * dinv[ZU(j)];
+      val[ZU(e)] = v;
+      val[ZU(entry_of(j, i))] = v;
+    }
+  }
+  return out;
+}
+
 }  // namespace geattack

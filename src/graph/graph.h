@@ -123,6 +123,23 @@ CsrMatrix GcnRenormalizeAfterAdds(const CsrMatrix& norm_adjacency,
                                   const Tensor& degp1,
                                   const std::vector<Edge>& added);
 
+/// General incremental GCN re-normalization over an edge-flip batch (adds
+/// AND removals): given Ã of the current 0/1 graph and its d̃ = degree + 1,
+/// returns Ã of (A + added − removed).  Unlike GcnRenormalizeAfterAdds'
+/// rescale-in-place, every entry incident to a touched node is *recomputed*
+/// from the new degrees with exactly GcnNormalizeCsr's per-entry expression
+/// (all underlying adjacency values are 1.0, and d̃ is an exact small
+/// integer in a double), so the result is bit-identical to
+/// GcnNormalizeCsr(churned.CsrAdjacency()) — the property that lets a live
+/// snapshot built incrementally epoch over epoch stand in for a fresh
+/// context without perturbing any attacker's picks.  `added` edges must be
+/// absent, `removed` edges present, and no removal may empty a node past
+/// d̃ = 1 (the self loop).  O(n + nnz + Σ_touched deg·log deg).
+CsrMatrix GcnRenormalizeAfterFlips(const CsrMatrix& norm_adjacency,
+                                   const Tensor& degp1,
+                                   const std::vector<Edge>& added,
+                                   const std::vector<Edge>& removed);
+
 /// Attributed graph with node labels: the unit of work for every
 /// experiment.  `labels[i]` in [0, num_classes).
 struct GraphData {

@@ -248,9 +248,11 @@ int64_t FindPair(const std::vector<IndexPair>& pairs, int64_t u, int64_t v) {
   return -1;
 }
 
-/// The `hops`-ball membership flags of BuildSubgraphView, per global node.
-std::vector<char> BallFlags(const Graph& graph, int64_t target, int hops,
-                            const std::vector<int64_t>& candidates_global) {
+}  // namespace
+
+std::vector<char> AugmentedBallFlags(
+    const Graph& graph, int64_t target, int hops,
+    const std::vector<int64_t>& candidates_global) {
   const int64_t n = graph.num_nodes();
   std::vector<char> in_ball(ZU(n), 0);
   if (hops < 0) {
@@ -285,8 +287,6 @@ std::vector<char> BallFlags(const Graph& graph, int64_t target, int hops,
   return in_ball;
 }
 
-}  // namespace
-
 BatchedSubgraphView BuildBatchedSubgraphView(
     const Graph& graph, const std::vector<int64_t>& targets, int hops,
     const std::vector<std::vector<int64_t>>& candidates_global) {
@@ -311,8 +311,8 @@ BatchedSubgraphView BuildBatchedSubgraphView(
   std::vector<std::vector<char>> ball(ZU(k));
   for (int64_t t = 0; t < k; ++t)
     ball[ZU(t)] =
-        BallFlags(graph, targets[ZU(t)], hops,
-                  candidates_global[ZU(t)]);
+        AugmentedBallFlags(graph, targets[ZU(t)], hops,
+                           candidates_global[ZU(t)]);
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t t = 0; t < k; ++t) {
       if (ball[ZU(t)][ZU(i)]) {

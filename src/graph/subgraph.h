@@ -166,6 +166,19 @@ BatchedSubgraphView BuildBatchedSubgraphView(
     const Graph& graph, const std::vector<int64_t>& targets, int hops,
     const std::vector<std::vector<int64_t>>& candidates_global);
 
+/// Membership flags (size n, 0/1) of the `hops`-hop ball around `target` in
+/// the augmented graph (clean edges + the candidate edges, which put every
+/// candidate at distance 1) — exactly the node set BuildSubgraphView would
+/// materialize, without building the view.  `hops < 0` flags every node.
+/// The live-graph service uses this for ball-overlap invalidation: a churn
+/// batch whose endpoints all lie outside a queued target's ball cannot
+/// change that target's view, out-degrees, or candidate set, so its picks
+/// are identical on the old and new epochs and it keeps its pinned
+/// snapshot.
+std::vector<char> AugmentedBallFlags(
+    const Graph& graph, int64_t target, int hops,
+    const std::vector<int64_t>& candidates_global);
+
 /// Greedy grouping heuristic for batched attacks: walks `targets` in order,
 /// seeds a group with the first ungrouped target, and fills it (up to
 /// `max_group`) with the ungrouped targets sharing the most neighbors with

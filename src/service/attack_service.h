@@ -1,30 +1,35 @@
-// Overload-safe attack service over the fault-contained multi-target driver.
+// Overload-safe attack service over the fault-contained multi-target driver,
+// with epoch-versioned LIVE graphs and kill−9 crash recovery.
 //
 // The driver (src/attack/driver.h) is a batch engine: give it a request
 // vector and it returns results.  Real evaluation campaigns do not arrive
 // as one tidy vector — targets trickle in from many experiments against
-// many graph snapshots, sometimes faster than the machine can attack them.
-// AttackService is the long-lived front end for that regime:
+// many graph snapshots, sometimes faster than the machine can attack them,
+// and the graphs themselves change under the load.  AttackService is the
+// long-lived front end for that regime:
 //
-//   * a registry of graph versions (context + attacker), so one service
-//     instance serves attacks against several registered snapshots;
-//   * a BOUNDED submission queue with admission control: a full queue or a
-//     deadline that is already infeasible rejects the request *at submit
-//     time* with kResourceExhausted, instead of letting it rot in an
-//     unbounded backlog and time out after wasting queue slots;
-//   * deadline-aware dispatch: queued requests run expiring-soonest first.
-//     Reordering is SAFE here because a request's picks depend only on its
-//     own seed (below), never on what ran before it;
-//   * retry with exponential backoff for transient failures (kError,
-//     kTimedOut — see IsRetryableStatus), each retry drawing from a
-//     distinct documented seed stream;
-//   * graceful degradation under sustained overload: above configurable
-//     queue watermarks the service sheds the lowest-priority requests
-//     (structured kResourceExhausted results, not silent drops) and/or
-//     shrinks the per-target budget and deadline so that everything still
-//     admitted finishes, smaller, instead of nothing finishing at all;
-//   * a ServiceStats health snapshot (accepted / shed / retried /
-//     completed counters, queue depth) cheap enough to poll per scrape.
+//   * a registry of graph versions, each a chain of immutable,
+//     shared_ptr-owned GraphSnapshot epochs (src/service/graph_snapshot.h).
+//     RegisterGraph COPIES the caller's data and model into epoch 0 — the
+//     old raw-pointer "must outlive the service" contract is retired;
+//   * live churn: UpdateGraph applies an atomic, validated edge-flip batch
+//     and publishes epoch k + 1 built incrementally (ApplyEdgeFlips /
+//     GcnRenormalizeAfterFlips), bit-identical to a fresh re-prepare.
+//     In-flight waves finish on the snapshot they were dispatched against;
+//     queued requests are re-pinned to the new epoch only when the churn
+//     touches their augmented ball (see churn_ball_hops), so unaffected
+//     work is provably NOT invalidated;
+//   * a BOUNDED submission queue with admission control, deadline-aware
+//     dispatch, retry with backoff, priority shedding and budget/deadline
+//     degradation under watermarks, and a ServiceStats health snapshot
+//     (see PR 9's semantics, unchanged);
+//   * a crash-durable WAL (journal_path): admissions (`s`), churn batches
+//     (`g`), and finalized results (`t`) are fsync'd geajournal-v3 records.
+//     After a kill −9 at ANY point, a fresh service that re-registers the
+//     same epoch-0 graphs and calls Recover() replays the WAL — rebuilding
+//     every epoch, every completed result, and every still-pending ticket
+//     from journal records alone — and re-runs only the remainder on the
+//     recorded seed streams: exactly-once delivery per accepted ticket.
 //
 // Determinism contract (the reason a service layer can exist at all
 // without breaking the repo's bit-identity invariant):
@@ -35,24 +40,39 @@
 //   exactly the stream the offline driver gives position k.  So for every
 //   request that completes on its first attempt with an undegraded budget,
 //   the picks are bit-identical to RunMultiTargetAttack over the accepted
-//   set in admission order, at ANY thread count, queue bound, wave packing
-//   and arrival order.  Retries must not reuse the attempt-0 stream (a
-//   retry that replayed the same draws after a *transient* fault would
-//   anchor "retry" to "identical failure" for deterministic faults), so
-//   attempt a > 0 draws from the distinct documented stream
-//   AttemptSeed(base, k, a) = TargetSeed(TargetSeed(base, k), a).  The
-//   final attempt number, seed and effective budget are recorded in the
-//   ServiceResult, so ANY completed request — retried or degraded — can be
-//   replayed offline bit-identically by passing the recorded seed and
-//   budget straight to the driver (tests/service_test.cc does exactly
-//   that; bench_attack's overload gate uses the plain admission-order
-//   reference).
+//   set in admission order ON ITS PINNED SNAPSHOT EPOCH, at ANY thread
+//   count, queue bound, wave packing and arrival order.  Retries must not
+//   reuse the attempt-0 stream (a retry that replayed the same draws after
+//   a *transient* fault would anchor "retry" to "identical failure" for
+//   deterministic faults), so attempt a > 0 draws from the distinct
+//   documented stream AttemptSeed(base, k, a) = TargetSeed(TargetSeed(base,
+//   k), a).  The final attempt number, seed, effective budget, and epoch
+//   are recorded in the ServiceResult, so ANY completed request — retried,
+//   degraded, or computed at a churned epoch — can be replayed offline
+//   bit-identically by passing the recorded seed and budget straight to
+//   the driver against that epoch's context (tests do exactly that).
 //
-// Threading model: Submit/Cancel/Take/Drain/stats are thread-safe.  One
-// internal dispatcher thread builds waves (same graph version,
+// Epoch staleness: ServiceResult::epoch is the snapshot epoch the result
+// was computed at.  A caller that churned the graph mid-flight can compare
+// it against CurrentEpoch(version) to detect results that predate the
+// churn — the service never silently re-runs them (their picks are still
+// exact for their epoch; whether staleness matters is the caller's call).
+//
+// Recovery scope (the no-clock-bits doctrine, see CONTRIBUTING.md): the
+// WAL records seeds, budgets, epochs, and outcomes — never wall-clock.
+// Deadlines, shedding, and degradation are load/time-dependent, so the
+// byte-identical kill−9 guarantee is scoped to configurations that do not
+// use them (the crash harness runs max_attempts = 1, no watermarks, no
+// deadlines); already-FINALIZED degraded/shed results replay faithfully
+// from their records either way.  Replayed results report latency_ms = 0.
+//
+// Threading model: Submit/Cancel/Take/Drain/UpdateGraph/stats are
+// thread-safe.  One internal dispatcher thread builds waves (same snapshot,
 // expiring-soonest first, up to wave_size) and runs each wave through
 // RunMultiTargetAttack with config.num_threads workers; faults stay
-// contained per target by the driver's isolation machinery.
+// contained per target by the driver's isolation machinery.  Recover() is
+// NOT concurrent: call it once, after RegisterGraph and before any
+// Submit/UpdateGraph, whenever journal_path is set.
 
 #ifndef GEATTACK_SRC_SERVICE_ATTACK_SERVICE_H_
 #define GEATTACK_SRC_SERVICE_ATTACK_SERVICE_H_
@@ -69,7 +89,9 @@
 
 #include "src/attack/attack.h"
 #include "src/attack/driver.h"
+#include "src/attack/journal.h"
 #include "src/base/status.h"
+#include "src/service/graph_snapshot.h"
 
 namespace geattack {
 
@@ -93,7 +115,7 @@ struct AttackServiceConfig {
   /// requests are already queued (in-flight waves do not count).
   int64_t queue_capacity = 64;
   /// Max targets dispatched per wave (one wave = one driver call over
-  /// requests of a single graph version).
+  /// requests pinned to a single snapshot epoch).
   int64_t wave_size = 8;
   /// Total attempts per request, first try included (>= 1; 1 = no retry).
   int max_attempts = 1;
@@ -109,7 +131,7 @@ struct AttackServiceConfig {
   /// a slot from a request that could.  <= 0 disables the check.
   double min_feasible_deadline_ms = 0.0;
   /// Shedding watermark: when the queue is deeper than this, the
-  /// dispatcher shuts out the lowest-priority / latest-deadline requests
+  /// dispatcher sheds the lowest-priority / latest-deadline requests
   /// (structured kResourceExhausted results) until the depth is back at
   /// the watermark.  0 disables shedding (the bounded queue still rejects
   /// at capacity).
@@ -124,6 +146,22 @@ struct AttackServiceConfig {
   /// Per-target deadline for degraded waves (> 0 to enable; replaces
   /// target_deadline_ms for those waves).
   double degraded_target_deadline_ms = 0.0;
+  /// Ball-overlap invalidation radius for UpdateGraph: a QUEUED request is
+  /// re-pinned to the new epoch only when some churn endpoint lies within
+  /// `churn_ball_hops` hops of its target in the augmented graph (clean
+  /// edges + its candidate edges) — outside that ball, the view, its
+  /// out-degrees, and the candidate set are provably unchanged, so old-
+  /// and new-epoch picks are identical and the old pin stays valid.
+  /// MUST be >= the attacker's own view radius (e.g. GEAttackConfig::hops)
+  /// for that proof to apply; the default -1 is the conservative whole-
+  /// graph ball (every queued request re-pins on every churn), matching
+  /// the in-tree attackers that default to hops = -1.
+  int churn_ball_hops = -1;
+  /// Crash-recovery WAL path; empty disables journaling.  When set,
+  /// Recover() must be called once after registering the epoch-0 graphs
+  /// and before any Submit/UpdateGraph — on a fresh path it just opens the
+  /// WAL, after a crash it replays it.
+  std::string journal_path;
 };
 
 /// One submission.
@@ -151,6 +189,35 @@ struct Admission {
   int64_t ticket = -1;
 };
 
+/// UpdateGraph outcome: ok() with the new epoch number, or a structured
+/// rejection (kNotFound for an unregistered version, kInvalidArgument for
+/// a malformed batch — in which case NOTHING was mutated).
+struct ChurnResult {
+  Status status;
+  /// Epoch the batch created; -1 on rejection.
+  int64_t epoch = -1;
+  /// Queued requests re-pinned to the new epoch (ball overlap).
+  int64_t requeued = 0;
+};
+
+/// What Recover() rebuilt from the WAL.
+struct RecoveryReport {
+  /// Ok, or the load's kDataLoss when a complete record failed CRC (replay
+  /// still used everything before the corruption).
+  Status status;
+  /// Churn batches re-applied (epochs rebuilt).
+  int64_t churn_batches = 0;
+  /// Tickets whose recorded results were replayed (no recomputation).
+  int64_t replayed_results = 0;
+  /// Tickets re-queued for execution (admitted but never finalized).
+  int64_t pending = 0;
+  /// The re-queued tickets, in admission order — a resuming driver submits
+  /// only work NOT in this list and Takes everything.
+  std::vector<int64_t> pending_tickets;
+  /// Tickets with replayed results, in finalization order.
+  std::vector<int64_t> completed_tickets;
+};
+
 /// Final outcome of one accepted request, consumed via Take(ticket).
 struct ServiceResult {
   AttackResult result;
@@ -163,13 +230,23 @@ struct ServiceResult {
   uint64_t seed = 0;
   /// Budget the final attempt ran with (== requested unless degraded).
   int64_t effective_budget = 0;
+  /// Snapshot epoch the result was computed at (the pin at finalization).
+  /// Compare against CurrentEpoch(version) to detect staleness after
+  /// churn; -1 only for never-admitted sentinel results (unknown ticket).
+  int64_t epoch = -1;
   /// Wall-clock milliseconds from admission to finalization (queue wait +
   /// attempts + backoff).  The open-loop bench derives p50/p99 from this.
+  /// 0 for results replayed from the WAL by Recover() — wall-clock is
+  /// never journaled (no clock bits in recovery state).
   double latency_ms = 0.0;
 };
 
 /// Monotonic health counters plus current queue state.  `queue_depth` and
 /// `in_flight` are instantaneous; everything else only ever increases.
+/// Conservation identity (holds at every quiescent point and is pinned
+/// under races by service_test):
+///   accepted == completed_ok + failed + timed_out + skipped + shed
+///               + queue_depth + in_flight.
 struct ServiceStats {
   int64_t submitted = 0;
   int64_t accepted = 0;
@@ -183,6 +260,9 @@ struct ServiceStats {
   int64_t timed_out = 0;          ///< Final kTimedOut (retries exhausted).
   int64_t skipped = 0;            ///< Deadline expired before a try ran.
   int64_t degraded_waves = 0;
+  int64_t churn_batches = 0;      ///< Accepted UpdateGraph batches.
+  int64_t requeued_stale = 0;     ///< Queued requests re-pinned by churn.
+  int64_t replayed_results = 0;   ///< Results rebuilt from the WAL.
   int64_t queue_depth = 0;
   int64_t max_queue_depth = 0;
   int64_t in_flight = 0;
@@ -195,16 +275,43 @@ class AttackService {
   AttackService(const AttackService&) = delete;
   AttackService& operator=(const AttackService&) = delete;
 
-  /// Registers a graph version.  `ctx` and `attack` are borrowed and must
-  /// outlive the service.  Re-registering a name is an error (versions are
-  /// immutable snapshots — publish a new name instead).
-  Status RegisterGraph(const std::string& version, const AttackContext* ctx,
-                       const TargetedAttack* attack);
+  /// Registers a graph version at epoch 0, COPYING `data` and `model` into
+  /// a service-owned immutable snapshot (derived context bit-identical to
+  /// MakeSparseAttackContext / MakeAttackContext on the same inputs, so
+  /// offline references built by the caller still match).  `attack` is
+  /// shared, not copied.  Re-registering a name is an error — snapshots
+  /// are immutable; churn happens through UpdateGraph, which publishes the
+  /// next epoch under the same name.  `dense_context` additionally
+  /// materializes the dense clean adjacency (small reference graphs only).
+  Status RegisterGraph(const std::string& version, const GraphData& data,
+                       const Gcn& model,
+                       std::shared_ptr<const TargetedAttack> attack,
+                       bool dense_context = false);
+
+  /// Applies one atomic churn batch to `version`, publishing the next
+  /// epoch.  Validation is all-or-nothing: any malformed entry (range,
+  /// self-loop, duplicate, add-present / remove-absent, non-finite or
+  /// non-unit weight) rejects the WHOLE batch with kInvalidArgument and
+  /// zero mutation.  In-flight waves are never disturbed; queued requests
+  /// re-pin to the new epoch only on ball overlap (churn_ball_hops).
+  /// Concurrent UpdateGraph calls serialize; Submit/Take stay live while
+  /// the new snapshot is built.
+  ChurnResult UpdateGraph(const std::string& version,
+                          const ChurnBatch& batch);
+
+  /// Replays the WAL after a crash (or opens it fresh).  Must be called
+  /// exactly once, after every epoch-0 RegisterGraph and before any
+  /// Submit / UpdateGraph, whenever journal_path is set.  Rebuilds epochs
+  /// from `g` records, completed results from `t` records (Take works on
+  /// them immediately), and re-queues admitted-but-unfinalized tickets on
+  /// their recorded accepted_index streams.
+  RecoveryReport Recover();
 
   /// Admission control.  Never blocks.  Rejections are structured:
   /// kNotFound (unregistered graph), kInvalidArgument (bad node / label /
   /// budget), kResourceExhausted (queue full, or deadline below the
-  /// feasibility floor).
+  /// feasibility floor).  With journaling on, the admission is durable
+  /// (fsync'd `s` record) before the ticket is returned.
   Admission Submit(const AttackServiceRequest& request);
 
   /// Cooperatively cancels a queued or running request.  Queued requests
@@ -223,20 +330,26 @@ class AttackService {
   /// ("service stopping").  Idempotent; the destructor calls it.
   void Stop();
 
+  /// Current epoch of `version`, or -1 if unregistered.
+  int64_t CurrentEpoch(const std::string& version) const;
+
+  /// Current snapshot of `version` (offline-reference contexts for tests
+  /// and benches), or nullptr if unregistered.
+  std::shared_ptr<const GraphSnapshot> CurrentSnapshot(
+      const std::string& version) const;
+
   ServiceStats stats() const;
 
  private:
-  struct GraphEntry {
-    const AttackContext* ctx = nullptr;
-    const TargetedAttack* attack = nullptr;
-  };
-
   enum class EntryState { kQueued, kRunning, kDone };
 
   struct Entry {
     int64_t ticket = -1;
     AttackServiceRequest request;
-    const GraphEntry* graph = nullptr;
+    /// Pinned snapshot: the epoch this request will run (or ran) against.
+    /// UpdateGraph re-pins QUEUED entries on ball overlap; running entries
+    /// keep theirs until finalization.
+    std::shared_ptr<const GraphSnapshot> snap;
     int64_t accepted_index = -1;
     /// Next attempt number to run (0-based).
     int attempt = 0;
@@ -255,11 +368,22 @@ class AttackService {
 
   /// Dispatcher body: shed, pick a wave, run it, finalize/requeue.
   void DispatcherLoop();
-  /// Marks `e` done with `result` and updates final-outcome counters.
+  /// Marks `e` done with `result`, stamps the epoch, updates final-outcome
+  /// counters, and (unless `from_replay`) appends the WAL `t` record.
   /// Caller holds mu_.
-  void Finalize(Entry* e, AttackResult result);
+  void Finalize(Entry* e, AttackResult result, bool from_replay = false);
+  /// Bumps the final-outcome counter for `code`.  Caller holds mu_.
+  void CountOutcome(StatusCode code);
+  /// True when the config enables the WAL.  The writer must then be open
+  /// (Recover() was called) before any admission or churn.
+  bool journaling() const { return !config_.journal_path.empty(); }
 
   const AttackServiceConfig config_;
+
+  /// Serializes UpdateGraph callers so each next-epoch snapshot is built
+  /// (outside mu_, keeping Submit/Take live) against a stable predecessor.
+  /// Lock order: churn_mu_ before mu_; nothing under mu_ takes churn_mu_.
+  std::mutex churn_mu_;
 
   // mu_ is the lock itself, not a lazily filled cache: every member it
   // protects is read and written only under this mutex (const stats()
@@ -267,14 +391,18 @@ class AttackService {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< Wakes the dispatcher.
   std::condition_variable done_cv_;   ///< Wakes Take()/Drain() waiters.
-  std::map<std::string, GraphEntry> graphs_;
+  /// Current (latest-epoch) snapshot per version.  Older epochs stay alive
+  /// exactly as long as some queued/running entry or caller pins them.
+  std::map<std::string, std::shared_ptr<const GraphSnapshot>> graphs_;
   std::map<int64_t, std::unique_ptr<Entry>> entries_;  ///< By ticket.
   std::vector<Entry*> pending_;       ///< Queued tickets, unordered.
   int64_t next_ticket_ = 0;
   int64_t next_accepted_index_ = 0;
   int64_t in_flight_ = 0;
   bool stopping_ = false;
+  bool recovered_ = false;            ///< Recover() already ran.
   ServiceStats stats_;
+  ServiceJournalWriter wal_;
 
   std::thread dispatcher_;
 };

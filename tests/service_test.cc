@@ -8,6 +8,7 @@
 // bound and wave packing.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -67,6 +68,13 @@ Fixture* SharedFixture() {
     return f;
   }();
   return fixture;
+}
+
+/// Non-owning shared_ptr over a test-scoped attack (every test body keeps
+/// its attack alive past the service, so the service need not own it).
+std::shared_ptr<const TargetedAttack> NoOwn(const TargetedAttack* attack) {
+  return std::shared_ptr<const TargetedAttack>(
+      std::shared_ptr<const TargetedAttack>(), attack);
 }
 
 void ExpectSameEdges(const AttackResult& got, const AttackResult& want,
@@ -206,7 +214,8 @@ TEST(ServiceDeterminismTest, FirstAttemptPicksMatchOfflineDriverEverywhere) {
       cfg.wave_size = wave;
       cfg.queue_capacity = 64;
       AttackService service(cfg);
-      ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &inner).ok());
+      ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&inner),
+                                    /*dense_context=*/true).ok());
 
       std::vector<int64_t> tickets;
       for (size_t i = 0; i < n; ++i) {
@@ -257,12 +266,14 @@ TEST(ServiceAdmissionTest, StructuredRejectionsAndUnknownTickets) {
   AttackService service(cfg);
 
   // Registration validation.
-  EXPECT_EQ(service.RegisterGraph("", &f->ctx, &inner).code(),
+  EXPECT_EQ(service.RegisterGraph("", f->data, *f->model, NoOwn(&inner)).code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(service.RegisterGraph("g", &f->ctx, nullptr).code(),
+  EXPECT_EQ(service.RegisterGraph("g", f->data, *f->model, nullptr).code(),
             StatusCode::kInvalidArgument);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &inner).ok());
-  EXPECT_EQ(service.RegisterGraph("g", &f->ctx, &inner).code(),
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&inner),
+                                    /*dense_context=*/true).ok());
+  EXPECT_EQ(service.RegisterGraph("g", f->data, *f->model, NoOwn(&inner),
+                                    /*dense_context=*/true).code(),
             StatusCode::kInvalidArgument);  // Versions are immutable.
 
   AttackServiceRequest base;
@@ -340,7 +351,8 @@ TEST(ServiceAdmissionTest, BoundedQueueRejectsAtCapacityAndRecovers) {
   cfg.queue_capacity = 2;
   cfg.wave_size = 1;
   AttackService service(cfg);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &faulty).ok());
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&faulty),
+                                    /*dense_context=*/true).ok());
 
   auto submit = [&](size_t i) {
     AttackServiceRequest req;
@@ -407,7 +419,8 @@ TEST(ServiceCancelTest, QueuedCancellationSkipsWithoutConsumingStream) {
   cfg.queue_capacity = 8;
   cfg.wave_size = 1;
   AttackService service(cfg);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &faulty).ok());
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&faulty),
+                                    /*dense_context=*/true).ok());
 
   auto submit = [&](size_t i) {
     AttackServiceRequest req;
@@ -475,7 +488,8 @@ TEST(ServiceRetryTest, DeterministicFaultExhaustsAttemptsWithDistinctStreams) {
   cfg.max_attempts = 3;
   cfg.retry_backoff_ms = 0.1;
   AttackService service(cfg);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &faulty).ok());
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&faulty),
+                                    /*dense_context=*/true).ok());
 
   std::vector<int64_t> tickets;
   for (size_t i = 0; i < n; ++i) {
@@ -535,7 +549,8 @@ TEST(ServiceRetryTest, TransientFaultRetriesToSuccessAndReplaysOffline) {
   cfg.max_attempts = 2;
   cfg.retry_backoff_ms = 0.1;
   AttackService service(cfg);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &flaky).ok());
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&flaky),
+                                    /*dense_context=*/true).ok());
 
   std::vector<int64_t> tickets;
   for (size_t i = 0; i < n; ++i) {
@@ -597,7 +612,8 @@ TEST(ServiceOverloadTest, ShedsLowestPriorityFirstSurvivorsIdentical) {
   cfg.wave_size = 4;
   cfg.shed_watermark = 4;
   AttackService service(cfg);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &faulty).ok());
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&faulty),
+                                    /*dense_context=*/true).ok());
 
   AttackServiceRequest slow_req;
   slow_req.graph = "g";
@@ -671,7 +687,8 @@ TEST(ServiceOverloadTest, DegradedWavesCapBudgetAndReplayOffline) {
   cfg.degrade_watermark = 2;
   cfg.degraded_budget_cap = 1;
   AttackService service(cfg);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &faulty).ok());
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&faulty),
+                                    /*dense_context=*/true).ok());
 
   auto make_req = [&](size_t pick) {
     AttackServiceRequest req;
@@ -746,7 +763,8 @@ TEST(ServiceLifecycleTest, StopFinalizesQueuedAsStructuredRejection) {
   cfg.queue_capacity = 8;
   cfg.wave_size = 1;
   AttackService service(cfg);
-  ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &faulty).ok());
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&faulty),
+                                    /*dense_context=*/true).ok());
 
   auto submit = [&](size_t i) {
     AttackServiceRequest req;
@@ -811,7 +829,8 @@ TEST(ServiceSoakTest, OpenLoopFaultSoakLosesNothingAtAnyThreadCount) {
     cfg.max_attempts = 2;
     cfg.retry_backoff_ms = 0.2;
     AttackService service(cfg);
-    ASSERT_TRUE(service.RegisterGraph("g", &f->ctx, &faulty).ok());
+    ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&faulty),
+                                    /*dense_context=*/true).ok());
     const std::string knobs = "threads=" + std::to_string(threads);
 
     // Open-loop submission: a fixed arrival schedule that does not wait for
@@ -975,7 +994,8 @@ TEST(PipelineServiceTest, EvaluateAttackOnServiceMatchesDriverPath) {
   scfg.wave_size = 4;
   scfg.queue_capacity = 64;
   AttackService service(scfg);
-  ASSERT_TRUE(service.RegisterGraph("snapshot-1", &f->ctx, &inner).ok());
+  ASSERT_TRUE(service.RegisterGraph("snapshot-1", f->data, *f->model,
+                                    NoOwn(&inner), /*dense_context=*/true).ok());
 
   EvalConfig ecfg;
   const JointAttackOutcome svc = EvaluateAttackOnService(
@@ -996,6 +1016,118 @@ TEST(PipelineServiceTest, EvaluateAttackOnServiceMatchesDriverPath) {
   EXPECT_DOUBLE_EQ(svc.detection.recall, drv.detection.recall);
   EXPECT_DOUBLE_EQ(svc.detection.f1, drv.detection.f1);
   EXPECT_DOUBLE_EQ(svc.detection.ndcg, drv.detection.ndcg);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown races (the TSan job runs this binary under -fsanitize=thread).
+// ---------------------------------------------------------------------------
+
+TEST(ServiceRaceTest, StopRacesSubmitChurnAndTake) {
+  Fixture* f = SharedFixture();
+  const FgaAttack inner(/*targeted=*/true);
+  AttackServiceConfig cfg;
+  cfg.base_seed = 5077;
+  cfg.num_threads = 2;
+  cfg.wave_size = 2;
+  cfg.queue_capacity = 16;
+  AttackService service(cfg);
+  ASSERT_TRUE(service.RegisterGraph("g", f->data, *f->model, NoOwn(&inner),
+                                    /*dense_context=*/true).ok());
+
+  // A chord the churner toggles on and off; any absent pair works.
+  int64_t chord_u = -1;
+  int64_t chord_v = -1;
+  const int64_t n = f->data.num_nodes();
+  for (int64_t u = 0; u < n && chord_u < 0; ++u)
+    for (int64_t v = u + 1; v < n; ++v)
+      if (!f->data.graph.HasEdge(u, v)) {
+        chord_u = u;
+        chord_v = v;
+        break;
+      }
+  ASSERT_GE(chord_u, 0);
+
+  std::mutex tickets_mu;
+  std::vector<int64_t> tickets;
+  std::atomic<bool> submit_done{false};
+
+  std::thread submitter([&] {
+    for (int i = 0; i < 48; ++i) {
+      const AttackRequest& r =
+          f->requests[static_cast<size_t>(i) % f->requests.size()];
+      AttackServiceRequest req;
+      req.graph = "g";
+      req.target_node = r.target_node;
+      req.target_label = r.target_label;
+      req.budget = r.budget;
+      const Admission a = service.Submit(req);
+      if (a.status.ok()) {
+        std::lock_guard<std::mutex> lock(tickets_mu);
+        tickets.push_back(a.ticket);
+      }
+      std::this_thread::yield();
+    }
+    submit_done = true;
+  });
+
+  std::thread churner([&] {
+    bool present = false;
+    for (int i = 0; i < 24; ++i) {
+      ChurnBatch batch;
+      if (present)
+        batch.removed.push_back({chord_u, chord_v, 1.0});
+      else
+        batch.added.push_back({chord_u, chord_v, 1.0});
+      // Rejections (e.g. after Stop lands) are fine; only track the toggle
+      // on acceptance so the next batch stays valid.
+      const ChurnResult cr = service.UpdateGraph("g", batch);
+      if (cr.status.ok()) present = !present;
+      std::this_thread::yield();
+    }
+  });
+
+  std::thread taker([&] {
+    size_t taken = 0;
+    for (;;) {
+      int64_t ticket = -1;
+      {
+        std::lock_guard<std::mutex> lock(tickets_mu);
+        if (taken < tickets.size()) ticket = tickets[taken];
+      }
+      if (ticket >= 0) {
+        // Blocks until the ticket finalizes — post-Stop, queued entries
+        // finalize as structured kResourceExhausted, so this always returns.
+        const ServiceResult r = service.Take(ticket);
+        EXPECT_NE(r.result.status.code(), StatusCode::kNotFound);
+        ++taken;
+        continue;
+      }
+      if (submit_done.load()) {
+        std::lock_guard<std::mutex> lock(tickets_mu);
+        if (taken >= tickets.size()) return;
+        continue;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  service.Stop();
+  submitter.join();
+  churner.join();
+  taker.join();
+
+  // Quiescent now: the conservation identity must balance to the ticket.
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.queue_depth, 0);
+  EXPECT_EQ(st.in_flight, 0);
+  EXPECT_EQ(st.accepted, st.completed_ok + st.failed + st.timed_out +
+                             st.skipped + st.shed + st.queue_depth +
+                             st.in_flight);
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu);
+    EXPECT_LE(static_cast<int64_t>(tickets.size()), st.accepted);
+  }
 }
 
 }  // namespace
